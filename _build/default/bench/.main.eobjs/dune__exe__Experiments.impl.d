@@ -1,0 +1,1 @@
+bench/experiments.ml: Checker Database Expr Format List Mapping Mcheck Option Printf Protocol Relalg Sim Solver String Table Unix Value Vcgraph

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Bechamel Benchmark Checker Experiments Hashtbl Instance Lazy List Mapping Mcheck Measure Printf Protocol Relalg Sim Staged Test Time Toolkit

@@ -1,0 +1,117 @@
+(* Benchmark entry point: first the experiment harness that regenerates
+   every table/figure of the paper (E1-E11), then Bechamel
+   micro-benchmarks of each pipeline stage. *)
+
+open Bechamel
+open Toolkit
+
+let dir_solver_spec =
+  lazy (Protocol.Ctrl_spec.to_solver_spec Protocol.Dir_controller.spec)
+
+let db = lazy (Protocol.database ())
+let mcheck_tables = lazy (Mcheck.Semantics.load_tables ())
+
+(* Each benchmark regenerates one of the paper's artifacts. *)
+let benchmarks =
+  [
+    (* E2/E3: controller-table generation *)
+    Test.make ~name:"generate-D-incremental"
+      (Staged.stage (fun () ->
+           ignore (Relalg.Solver.generate (Lazy.force dir_solver_spec))));
+    Test.make ~name:"generate-M-monolithic"
+      (Staged.stage (fun () ->
+           ignore
+             (Relalg.Solver.generate_monolithic
+                (Protocol.Ctrl_spec.to_solver_spec Protocol.Mem_controller.spec))));
+    (* E5: the three deadlock analyses *)
+    Test.make ~name:"deadlock-V-initial"
+      (Staged.stage (fun () ->
+           ignore (Checker.Deadlock.analyze Checker.Vcassign.initial)));
+    Test.make ~name:"deadlock-V-vc4"
+      (Staged.stage (fun () ->
+           ignore (Checker.Deadlock.analyze Checker.Vcassign.with_vc4)));
+    Test.make ~name:"deadlock-V-debugged"
+      (Staged.stage (fun () ->
+           ignore (Checker.Deadlock.analyze Checker.Vcassign.debugged)));
+    (* E6: the invariant suite *)
+    Test.make ~name:"invariants-all"
+      (Staged.stage (fun () ->
+           ignore (Checker.Invariant.run_all (Lazy.force db))));
+    Test.make ~name:"invariant-sql-single"
+      (Staged.stage (fun () ->
+           ignore
+             (Relalg.Sql_exec.is_empty (Lazy.force db)
+                "SELECT dirst, dirpv FROM D WHERE dirst = 'MESI' AND NOT dirpv = 'one'")));
+    (* E7: the mapping pipeline *)
+    Test.make ~name:"mapping-partition"
+      (Staged.stage (fun () -> ignore (Mapping.Partition.run ())));
+    (* query engine: sequential scan vs hash-index access path *)
+    Test.make ~name:"select-D-seqscan"
+      (Staged.stage (fun () ->
+           ignore
+             (Relalg.Sql_exec.query (Lazy.force db)
+                "SELECT * FROM D WHERE inmsg = 'readex'")));
+    Test.make ~name:"select-D-indexed"
+      (Staged.stage
+         (let store = Relalg.Physical.make_store (Lazy.force db) in
+          let indexes = [ "D", "inmsg" ] in
+          ignore (Relalg.Physical.run ~indexes store "SELECT * FROM D WHERE inmsg = 'readex'");
+          fun () ->
+            ignore
+              (Relalg.Physical.run ~indexes store
+                 "SELECT * FROM D WHERE inmsg = 'readex'")));
+    (* E9: one bounded model-checking run *)
+    Test.make ~name:"mcheck-2node-loadstore"
+      (Staged.stage (fun () ->
+           ignore
+             (Mcheck.Explore.run ~max_states:5_000
+                ~tables:(Lazy.force mcheck_tables)
+                {
+                  Mcheck.Semantics.nodes = 2; addrs = 1;
+                  ops = [ "load"; "store" ]; capacity = 3; io_addrs = []; lossy = false;
+                })));
+    Test.make ~name:"mcheck-3node-symmetry"
+      (Staged.stage (fun () ->
+           ignore
+             (Mcheck.Explore.run ~max_states:5_000 ~symmetry:true
+                ~tables:(Lazy.force mcheck_tables)
+                {
+                  Mcheck.Semantics.nodes = 3; addrs = 1;
+                  ops = [ "load"; "store" ]; capacity = 3; io_addrs = []; lossy = false;
+                })));
+    (* E10: the simulator replay *)
+    Test.make ~name:"sim-figure4-replay"
+      (Staged.stage (fun () ->
+           ignore (Sim.Scenario.figure4 Checker.Vcassign.with_vc4)));
+  ]
+
+let run_benchmarks () =
+  Printf.printf "\n=== Bechamel timings (per regeneration) ===\n%!";
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None
+      ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols ->
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some (x :: _) -> x
+            | _ -> nan
+          in
+          Printf.printf "%-28s %12.3f ms/run\n%!" name (ns /. 1e6))
+        analyzed)
+    benchmarks
+
+let () =
+  Printf.printf "ASURA coherence-protocol design toolchain: benchmark suite\n";
+  Printf.printf "(reproduces every table/figure of the IPPS 2003 paper)\n";
+  Experiments.run_all ();
+  run_benchmarks ()

@@ -1,0 +1,402 @@
+(* asura: the push-button command-line front end (paper section 1:
+   "The approach is used in a push-button manner").
+
+   Subcommands mirror the development flow: generate the controller
+   tables, check invariants, check for deadlocks, map D to implementation
+   tables, emit code, run the simulator scenarios, and run the
+   explicit-state baseline. *)
+
+open Cmdliner
+
+let list_tables () =
+  List.iter
+    (fun c ->
+      let t = Protocol.Ctrl_spec.table c.Protocol.spec in
+      Printf.printf "%-6s %6d rows  %3d columns\n" (Relalg.Table.name t)
+        (Relalg.Table.cardinality t) (Relalg.Table.arity t))
+    Protocol.controllers
+
+let show_table name constraints_only =
+  match Protocol.find name with
+  | None ->
+      Printf.eprintf "unknown controller %s (try: D M C N RAC IO PIF LK)\n" name;
+      exit 1
+  | Some c ->
+      if constraints_only then
+        print_string (Protocol.Ctrl_spec.constraints_listing c.Protocol.spec)
+      else
+        print_string
+          (Relalg.Table.to_string (Protocol.Ctrl_spec.table c.Protocol.spec))
+
+(* ---------------------------- generate ------------------------------- *)
+
+let generate_cmd =
+  let table =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "table" ] ~docv:"NAME"
+          ~doc:"Print one generated controller table in full.")
+  in
+  let constraints =
+    Arg.(
+      value & flag
+      & info [ "c"; "constraints" ]
+          ~doc:"Print the column constraints instead of the rows.")
+  in
+  let run table constraints =
+    match table with
+    | None -> list_tables ()
+    | Some name -> show_table name constraints
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Generate the eight controller tables from their column \
+          constraints (paper section 3).")
+    Term.(const run $ table $ constraints)
+
+(* ---------------------------- invariants ----------------------------- *)
+
+let invariants_cmd =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print every invariant, not only failures.")
+  in
+  let run verbose =
+    let db = Protocol.database () in
+    let results = Checker.Invariant.run_all db in
+    let failures = Checker.Invariant.failures results in
+    if verbose then print_string (Checker.Invariant.summary results)
+    else begin
+      List.iter
+        (fun (r : Checker.Invariant.result) ->
+          Printf.printf "FAIL %s: %s\n%s" r.invariant.id
+            r.invariant.description
+            (Relalg.Table.to_string r.violations))
+        failures;
+      Printf.printf "%d invariants checked, %d failed\n" (List.length results)
+        (List.length failures)
+    end;
+    if failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "invariants"
+       ~doc:"Check all protocol invariants with SQL (paper section 4.3).")
+    Term.(const run $ verbose)
+
+(* ----------------------------- deadlock ------------------------------ *)
+
+let assignment_conv =
+  let parse = function
+    | "initial" -> Ok Checker.Vcassign.initial
+    | "vc4" -> Ok Checker.Vcassign.with_vc4
+    | "debugged" -> Ok Checker.Vcassign.debugged
+    | s -> Error (`Msg ("unknown assignment " ^ s ^ " (initial|vc4|debugged)"))
+  in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt v.Checker.Vcassign.name)
+
+let deadlock_cmd =
+  let assignment =
+    Arg.(
+      value
+      & opt assignment_conv Checker.Vcassign.debugged
+      & info [ "a"; "assignment" ] ~docv:"ASSIGNMENT"
+          ~doc:
+            "Virtual-channel assignment: $(b,initial) (VC0-VC3), $(b,vc4) \
+             (the paper's Figure 4 setup) or $(b,debugged) (the fix).")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit the VCG in Graphviz format instead.")
+  in
+  let narrative =
+    Arg.(
+      value & flag
+      & info [ "narrative" ]
+          ~doc:"Run all three assignments in the paper's order.")
+  in
+  let run assignment dot narrative =
+    if narrative then
+      List.iter
+        (fun (desc, r) ->
+          Printf.printf "=== %s ===\n%s\n" desc (Checker.Deadlock.summary r))
+        (Checker.Deadlock.narrative ())
+    else
+      let r = Checker.Deadlock.analyze assignment in
+      if dot then print_string (Checker.Vcg.to_dot r.Checker.Deadlock.vcg)
+      else print_string (Checker.Deadlock.summary r);
+      if not (Checker.Deadlock.is_deadlock_free r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "deadlock"
+       ~doc:
+         "Build the virtual-channel dependency graph and report cycles \
+          (paper sections 4.1-4.2).")
+    Term.(const run $ assignment $ dot $ narrative)
+
+(* ------------------------------- map --------------------------------- *)
+
+let map_cmd =
+  let emit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"TABLE"
+          ~doc:"Emit generated Verilog for one implementation table.")
+  in
+  let run emit =
+    let db = Mapping.Partition.run () in
+    match emit with
+    | Some name -> (
+        match
+          List.find_opt
+            (fun (g : Mapping.Partition.group) -> g.table_name = name)
+            Mapping.Partition.groups
+        with
+        | None ->
+            Printf.eprintf "unknown implementation table %s\n" name;
+            exit 1
+        | Some g ->
+            let t = Relalg.Database.find db g.table_name in
+            print_string
+              (Mapping.Codegen.to_verilog ~name:g.table_name
+                 (Mapping.Codegen.rules_of_table
+                    ~inputs:Mapping.Extend.input_columns ~outputs:g.payload t)))
+    | None ->
+        let ed = Mapping.Extend.ed () in
+        Printf.printf "ED: %d rows x %d columns\n" (Relalg.Table.cardinality ed)
+          (Relalg.Table.arity ed);
+        List.iter
+          (fun t ->
+            Printf.printf "  %-18s %6d rows\n" (Relalg.Table.name t)
+              (Relalg.Table.cardinality t))
+          (Mapping.Partition.implementation_tables db);
+        let o = Mapping.Reconstruct.check ~db () in
+        Printf.printf "reconstruction: ED preserved = %b, D contained = %b\n"
+          o.Mapping.Reconstruct.ed_preserved o.Mapping.Reconstruct.d_preserved;
+        if not (o.ed_preserved && o.d_preserved) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:
+         "Map the debugged directory table to the nine implementation \
+          tables and verify the reconstruction (paper section 5).")
+    Term.(const run $ emit)
+
+(* ------------------------------ simulate ----------------------------- *)
+
+let simulate_cmd =
+  let scenario =
+    Arg.(
+      value
+      & pos 0 (enum [ "figure4", `Figure4; "readex", `Readex;
+                      "contention", `Contention ]) `Figure4
+      & info [] ~docv:"SCENARIO" ~doc:"figure4, readex or contention.")
+  in
+  let assignment =
+    Arg.(
+      value
+      & opt assignment_conv Checker.Vcassign.with_vc4
+      & info [ "a"; "assignment" ] ~docv:"ASSIGNMENT"
+          ~doc:"Channel assignment (initial|vc4|debugged).")
+  in
+  let msc =
+    Arg.(
+      value & flag
+      & info [ "msc" ]
+          ~doc:"Render the trace as a message-sequence chart (the form of                 the paper's Figures 2 and 4).")
+  in
+  let run scenario assignment msc_flag =
+    let result, trace =
+      match scenario with
+      | `Figure4 -> Sim.Scenario.figure4 assignment
+      | `Readex -> Sim.Scenario.readex_walkthrough assignment
+      | `Contention -> Sim.Scenario.contention assignment
+    in
+    if msc_flag then print_string (Sim.Msc.render_run trace)
+    else List.iter print_endline trace;
+    Format.printf "%a@." Sim.Runner.pp_result result;
+    match result with Sim.Runner.Deadlock _ -> exit 1 | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Replay a scenario in the queue-accurate simulator (the Figure 4 \
+          deadlock by default).")
+    Term.(const run $ scenario $ assignment $ msc)
+
+(* ------------------------------- mcheck ------------------------------ *)
+
+let mcheck_cmd =
+  let nodes =
+    Arg.(value & opt int 2 & info [ "n"; "nodes" ] ~doc:"Number of caches.")
+  in
+  let addrs =
+    Arg.(value & opt int 1 & info [ "addrs" ] ~doc:"Number of cache lines.")
+  in
+  let max_states =
+    Arg.(value & opt int 200_000 & info [ "max-states" ] ~doc:"Search bound.")
+  in
+  let evictions =
+    Arg.(value & flag & info [ "evictions" ] ~doc:"Include eviction operations.")
+  in
+  let run nodes addrs max_states evictions =
+    let ops =
+      [ "load"; "store" ] @ if evictions then [ "evictmod"; "evictsh" ] else []
+    in
+    let r =
+      Mcheck.Explore.run ~max_states
+        { Mcheck.Semantics.nodes; addrs; ops; capacity = 3; io_addrs = []; lossy = false }
+    in
+    Format.printf "%a@." Mcheck.Explore.pp_result r;
+    match r.Mcheck.Explore.violation with
+    | Some v ->
+        List.iter print_endline v.Mcheck.Explore.trace;
+        exit 1
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Exhaustively model-check the table-driven protocol (the \
+          Murphi-style baseline the paper compares against).")
+    Term.(const run $ nodes $ addrs $ max_states $ evictions)
+
+(* -------------------------------- sql -------------------------------- *)
+
+let sql_cmd =
+  let query =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"A SQL query over the controller tables.")
+  in
+  let run query =
+    let db = Protocol.database () in
+    print_string (Relalg.Table.to_string (Relalg.Sql_exec.query db query))
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Run a SQL query against the controller-table database, e.g. \
+          \"SELECT inmsg, locmsg FROM D WHERE bdirlookup = 'hit'\".")
+    Term.(const run $ query)
+
+(* ------------------------------ export ------------------------------- *)
+
+let export_cmd =
+  let table =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TABLE"
+          ~doc:"Controller table (D M C N RAC IO PIF LK), ED, or an                 implementation table name.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write CSV to this file instead of standard output.")
+  in
+  let run table output =
+    let t =
+      match Protocol.find table with
+      | Some c -> Protocol.Ctrl_spec.table c.Protocol.spec
+      | None ->
+          if table = "ED" then Mapping.Extend.ed ()
+          else
+            let db = Mapping.Partition.run () in
+            (match Relalg.Database.find_opt db table with
+            | Some t -> t
+            | None ->
+                Printf.eprintf "unknown table %s
+" table;
+                exit 1)
+    in
+    match output with
+    | None -> print_string (Relalg.Csv.to_string t)
+    | Some filename ->
+        Relalg.Csv.save ~filename t;
+        Printf.printf "wrote %d rows to %s
+" (Relalg.Table.cardinality t)
+          filename
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a generated table as CSV (SQL report generation).")
+    Term.(const run $ table $ output)
+
+(* ------------------------------ report ------------------------------- *)
+
+let report_cmd =
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Embed the complete controller tables and column constraints.")
+  in
+  let assignment =
+    Arg.(
+      value
+      & opt assignment_conv Checker.Vcassign.debugged
+      & info [ "a"; "assignment" ] ~docv:"ASSIGNMENT"
+          ~doc:"Channel assignment to analyze (initial|vc4|debugged).")
+  in
+  let run full assignment =
+    let options =
+      {
+        Checker.Report.include_tables = full;
+        include_constraints = full;
+        assignment;
+      }
+    in
+    print_string (Checker.Report.generate ~options ());
+    (* executed transaction walkthroughs, Figure 2-style *)
+    print_string (Sim.Walkthrough.to_markdown (Sim.Walkthrough.all ()))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Emit the enhanced-architecture-specification review document           (Markdown): tables, channel assignment, deadlock verdict,           invariants.")
+    Term.(const run $ full $ assignment)
+
+(* ------------------------------ explain ------------------------------ *)
+
+let explain_cmd =
+  let query =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"A SQL query to plan.")
+  in
+  let run query =
+    let plan = Relalg.Plan.of_query (Relalg.Sql_parser.parse_query query) in
+    Printf.printf "plan:
+%s
+optimized:
+%s"
+      (Relalg.Plan.explain plan)
+      (Relalg.Plan.explain (Relalg.Plan.optimize plan))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the logical query plan before and after optimization.")
+    Term.(const run $ query)
+
+let () =
+  let doc =
+    "table-driven cache-coherence protocol design and early error \
+     detection using SQL (IPPS 2003 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "asura" ~version:"1.0.0" ~doc)
+          [
+            generate_cmd; invariants_cmd; deadlock_cmd; map_cmd; simulate_cmd;
+            mcheck_cmd; sql_cmd; report_cmd; explain_cmd; export_cmd;
+          ]))

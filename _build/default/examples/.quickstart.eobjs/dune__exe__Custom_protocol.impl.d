@@ -1,0 +1,1 @@
+examples/custom_protocol.ml: Checker Format List Printf Protocol Relalg Vcgraph

@@ -1,0 +1,1 @@
+examples/deadlock_hunt.ml: Checker Format List Printf Sim String Vcgraph

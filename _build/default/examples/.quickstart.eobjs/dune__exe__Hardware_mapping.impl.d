@@ -1,0 +1,1 @@
+examples/hardware_mapping.ml: List Mapping Printf Relalg String

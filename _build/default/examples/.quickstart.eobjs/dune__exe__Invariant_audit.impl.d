@@ -1,0 +1,1 @@
+examples/invariant_audit.ml: Checker List Printf Protocol Relalg

@@ -1,0 +1,1 @@
+examples/model_check.ml: Checker Format List Mcheck Protocol Sys

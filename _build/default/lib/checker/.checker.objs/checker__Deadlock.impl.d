@@ -1,0 +1,1 @@
+lib/checker/deadlock.ml: Buffer Dependency Format List Option Printf Protocol Vcassign Vcg Vcgraph

@@ -1,0 +1,1 @@
+lib/checker/deadlock.mli: Dependency Protocol Vcassign Vcgraph

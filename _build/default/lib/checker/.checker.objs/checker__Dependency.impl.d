@@ -1,0 +1,1 @@
+lib/checker/dependency.ml: Array Format Hashtbl List Option Protocol Relalg Row Schema Table Value Vcassign

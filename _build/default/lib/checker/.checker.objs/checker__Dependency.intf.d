@@ -1,0 +1,1 @@
+lib/checker/dependency.mli: Format Protocol Relalg Vcassign

@@ -1,0 +1,1 @@
+lib/checker/invariant.ml: Array Buffer Database Expr Format List Ops Option Printf Protocol Relalg Row Schema Sql_exec String Table Value

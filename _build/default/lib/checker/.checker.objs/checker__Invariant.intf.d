@@ -1,0 +1,1 @@
+lib/checker/invariant.mli: Relalg

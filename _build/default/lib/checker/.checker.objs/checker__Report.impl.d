@@ -1,0 +1,1 @@
+lib/checker/report.ml: Buffer Deadlock Dependency Format Invariant List Printf Protocol Relalg Vcassign Vcgraph

@@ -1,0 +1,1 @@
+lib/checker/report.mli: Deadlock Invariant Vcassign

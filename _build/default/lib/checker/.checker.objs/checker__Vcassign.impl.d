@@ -1,0 +1,1 @@
+lib/checker/vcassign.ml: Array List Option Protocol Relalg Row Schema String Table Value

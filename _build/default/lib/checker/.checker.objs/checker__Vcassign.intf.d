@@ -1,0 +1,1 @@
+lib/checker/vcassign.mli: Relalg

@@ -1,0 +1,1 @@
+lib/checker/vcg.ml: Dependency Hashtbl List Printf Vcgraph

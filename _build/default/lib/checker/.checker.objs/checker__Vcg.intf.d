@@ -1,0 +1,1 @@
+lib/checker/vcg.mli: Dependency Vcgraph

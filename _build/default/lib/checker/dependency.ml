@@ -1,0 +1,188 @@
+open Relalg
+
+type assign = { msg : string; src : string; dst : string; vc : string }
+type dep = { input : assign; output : assign }
+
+type provenance =
+  | Direct of string
+  | Composed of {
+      first : string;
+      second : string;
+      placement : Protocol.Topology.placement;
+      exact : bool;
+    }
+
+type entry = { dep : dep; provenance : provenance }
+
+(* Read one (msg, src, dst) column triple off a row, resolving dont-care
+   role cells from the message's canonical direction. *)
+let triple_of_row schema row (mc, sc, dc) =
+  let get c = row.(Schema.index schema c) in
+  match get mc with
+  | Value.Str msg ->
+      let fallback f =
+        match Protocol.Message.find msg with
+        | Some m -> Some (Protocol.Topology.node_class_to_string (f m))
+        | None -> None
+      in
+      let resolve cell f =
+        match cell with
+        | Value.Str s -> Some s
+        | Value.Null -> fallback f
+        | Value.Int _ | Value.Bool _ -> None
+      in
+      Option.bind (resolve (get sc) (fun m -> m.Protocol.Message.src))
+        (fun src ->
+          Option.map
+            (fun dst -> msg, src, dst)
+            (resolve (get dc) (fun m -> m.Protocol.Message.dst)))
+  | Value.Null | Value.Int _ | Value.Bool _ -> None
+
+let assign_of ~v (msg, src, dst) =
+  Option.map
+    (fun vc -> { msg; src; dst; vc })
+    (Vcassign.lookup v ~msg ~src ~dst)
+
+let individual ~v (c : Protocol.controller) =
+  let tbl = Protocol.Ctrl_spec.table c.Protocol.spec in
+  let schema = Table.schema tbl in
+  let name = Protocol.Ctrl_spec.name c.Protocol.spec in
+  let of_row row =
+    List.concat_map
+      (fun in_triple ->
+        match
+          Option.bind (triple_of_row schema row in_triple) (assign_of ~v)
+        with
+        | None -> []
+        | Some input ->
+            List.filter_map
+              (fun out_triple ->
+                Option.bind
+                  (Option.bind (triple_of_row schema row out_triple)
+                     (assign_of ~v))
+                  (fun output ->
+                    Some { dep = { input; output }; provenance = Direct name }))
+              c.Protocol.out_triples)
+      c.Protocol.in_triples
+  in
+  List.concat_map of_row (Table.rows tbl)
+
+let relocate placement d =
+  let c = Protocol.Topology.canon_string placement in
+  let move a = { a with src = c a.src; dst = c a.dst } in
+  { input = move d.input; output = move d.output }
+
+let matches ~ignore_messages out inp =
+  out.src = inp.src && out.dst = inp.dst && out.vc = inp.vc
+  && (ignore_messages || out.msg = inp.msg)
+
+let compose ~ignore_messages ~placement (n1, t1) (n2, t2) =
+  let t1 = List.map (fun e -> relocate placement e.dep) t1 in
+  let t2 = List.map (fun e -> relocate placement e.dep) t2 in
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (fun s ->
+          if matches ~ignore_messages r.output s.input then
+            Some
+              {
+                dep = { input = r.input; output = s.output };
+                provenance =
+                  Composed
+                    {
+                      first = n1;
+                      second = n2;
+                      placement;
+                      exact = not ignore_messages;
+                    };
+              }
+          else None)
+        t2)
+    t1
+
+let dedup entries =
+  let seen = Hashtbl.create 256 in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e.dep then false
+      else begin
+        Hashtbl.add seen e.dep ();
+        true
+      end)
+    entries
+
+let compose_closure ~ignore_messages ~placements entries =
+  List.concat_map
+    (fun placement ->
+      compose ~ignore_messages ~placement ("closure", entries)
+        ("closure", entries))
+    placements
+
+let protocol_dependency ?placements ?(interleavings = true)
+    ?(fixpoint = false) ~v controllers =
+  let placements =
+    Option.value placements ~default:Protocol.Topology.all_placements
+  in
+  let named =
+    List.map
+      (fun c ->
+        Protocol.Ctrl_spec.name c.Protocol.spec, dedup (individual ~v c))
+      controllers
+  in
+  let modes = if interleavings then [ false; true ] else [ false ] in
+  let composed =
+    List.concat_map
+      (fun placement ->
+        List.concat_map
+          (fun ignore_messages ->
+            List.concat_map
+              (fun t1 ->
+                List.concat_map
+                  (fun t2 -> compose ~ignore_messages ~placement t1 t2)
+                  named)
+              named)
+          modes)
+      placements
+  in
+  let base = dedup (List.concat_map snd named @ composed) in
+  if not fixpoint then base
+  else begin
+    (* iterate self-composition until no new dependency appears *)
+    let rec iterate acc =
+      let next =
+        dedup
+          (acc
+          @ List.concat_map
+              (fun ignore_messages ->
+                compose_closure ~ignore_messages ~placements acc)
+              modes)
+      in
+      if List.length next = List.length acc then acc else iterate next
+    in
+    iterate base
+  end
+
+let dep_schema =
+  Schema.of_list
+    [ "inmsg"; "insrc"; "indst"; "invc"; "outmsg"; "outsrc"; "outdst";
+      "outvc" ]
+
+let to_table ~name entries =
+  let row e =
+    let i = e.dep.input and o = e.dep.output in
+    Row.strings [ i.msg; i.src; i.dst; i.vc; o.msg; o.src; o.dst; o.vc ]
+  in
+  Table.of_rows ~name dep_schema (List.map row entries)
+
+let pp_assign fmt a =
+  Format.fprintf fmt "(%s, %s, %s, %s)" a.msg a.src a.dst a.vc
+
+let pp_dep fmt d =
+  Format.fprintf fmt "%a -> %a" pp_assign d.input pp_assign d.output
+
+let pp_provenance fmt = function
+  | Direct n -> Format.fprintf fmt "direct from %s" n
+  | Composed { first; second; placement; exact } ->
+      Format.fprintf fmt "composed %s . %s under %s%s" first second
+        (Protocol.Topology.placement_to_string placement)
+        (if exact then "" else " ignoring messages")

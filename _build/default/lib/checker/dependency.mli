@@ -1,0 +1,87 @@
+(** Channel-dependency extraction and composition (section 4.1).
+
+    A {e dependency} says: consuming a message that arrived on one virtual
+    channel requires queue space on another.  Dependencies are read off
+    the controller tables: every row with an incoming assignment (message,
+    source, destination, channel) ∈ V and an outgoing assignment ∈ V
+    contributes one dependency per outgoing message column.
+
+    Dependencies are then {e composed} pairwise: if row R's output
+    assignment matches row S's input assignment, the transitive dependency
+    (R.input, S.output) is added.  Matching is relaxed in two steps, per
+    the paper:
+    - {e quad placement}: under each of the five placements of
+      (local, home, remote) into quads, roles in the same quad are
+      identified (they share physical channels), so e.g. a [remote → home]
+      input matches a [home → home] output when H = R;
+    - {e transaction interleaving}: message names are ignored, matching on
+      (source, destination, channel) only — two different transactions
+      queued behind each other on the same channel. *)
+
+type assign = { msg : string; src : string; dst : string; vc : string }
+
+type dep = { input : assign; output : assign }
+
+type provenance =
+  | Direct of string  (** read directly off the named controller table *)
+  | Composed of {
+      first : string;
+      second : string;
+      placement : Protocol.Topology.placement;
+      exact : bool;  (** false when matched ignoring messages *)
+    }
+
+type entry = { dep : dep; provenance : provenance }
+
+val individual : v:Vcassign.t -> Protocol.controller -> entry list
+(** The individual controller dependency table. *)
+
+val relocate : Protocol.Topology.placement -> dep -> dep
+(** Rewrite the roles of both assignments to their quad representatives —
+    the paper's "R2 is modified to R2'" step.  Channels are unchanged. *)
+
+val compose :
+  ignore_messages:bool ->
+  placement:Protocol.Topology.placement ->
+  string * entry list ->
+  string * entry list ->
+  entry list
+(** [compose (n1, t1) (n2, t2)]: all transitive dependencies obtained by
+    matching outputs of [t1] against inputs of [t2] after relocating both
+    under [placement]. *)
+
+val protocol_dependency :
+  ?placements:Protocol.Topology.placement list ->
+  ?interleavings:bool ->
+  ?fixpoint:bool ->
+  v:Vcassign.t ->
+  Protocol.controller list ->
+  entry list
+(** The overall protocol dependency table: union of all individual tables
+    and all pairwise compositions under every placement (default: all
+    five), with ([interleavings], default true) and without the
+    message-ignoring relaxation.  Duplicate dependencies are merged,
+    keeping the first provenance.
+
+    [fixpoint] (default false) repeats the composition until no new
+    dependency appears — the paper's footnote: "to ensure that [the]
+    protocol dependency table includes all the dependencies, it is
+    necessary to repeatedly compose … until no new dependencies are
+    added.  However, in practice this was not needed."  Experiment E13
+    verifies the footnote: the fixpoint adds rows but no new channel
+    edges or cycles. *)
+
+val compose_closure :
+  ignore_messages:bool ->
+  placements:Protocol.Topology.placement list ->
+  entry list ->
+  entry list
+(** One self-composition round over an accumulated dependency set, used
+    by the fixpoint iteration. *)
+
+val to_table : name:string -> entry list -> Relalg.Table.t
+(** Eight-column tabular form
+    (inmsg, insrc, indst, invc, outmsg, outsrc, outdst, outvc). *)
+
+val pp_dep : Format.formatter -> dep -> unit
+val pp_provenance : Format.formatter -> provenance -> unit

@@ -1,0 +1,43 @@
+(** Static protocol invariants checked over the controller tables with SQL
+    (section 4.3 of the paper — "All of the protocol invariants (around
+    50) are checked … within 5 minutes").
+
+    An invariant is either a SQL emptiness check — the query selects the
+    {e violating} rows, so an empty result means the invariant holds
+    (the paper's [\[Select …\] = empty] idiom) — or a native check for
+    properties SQL's single-table subset cannot express (determinism,
+    cross-table coverage), which likewise returns the counterexample rows.
+
+    The three invariants quoted verbatim in the paper appear here as
+    [d-mesi-pv-one] / [d-si-pv-many] / [d-i-pv-zero] (directory
+    state/presence-vector consistency), [d-dir-bdir-exclusive] (directory
+    vs busy-directory mutual exclusion) and [d-busy-retry] /
+    [d-dealloc-only-on-completion] (request serialization), adapted to the
+    NULL-as-dont-care convention of sparse rows. *)
+
+type check =
+  | Sql of string  (** query selecting violating rows; empty = pass *)
+  | Native of (Relalg.Database.t -> Relalg.Table.t)
+
+type t = {
+  id : string;
+  description : string;
+  controller : string;  (** table primarily concerned, or ["*"] *)
+  check : check;
+}
+
+type result = {
+  invariant : t;
+  passed : bool;
+  violations : Relalg.Table.t;  (** counterexample rows (empty if passed) *)
+}
+
+val all : t list
+(** The full suite, ~50 invariants across the eight controller tables. *)
+
+val find : string -> t option
+val run : Relalg.Database.t -> t -> result
+val run_all : ?invariants:t list -> Relalg.Database.t -> result list
+val failures : result list -> result list
+val summary : result list -> string
+(** One line per invariant plus a pass/fail tally. *)

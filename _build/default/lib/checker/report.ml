@@ -1,0 +1,105 @@
+type options = {
+  include_tables : bool;
+  include_constraints : bool;
+  assignment : Vcassign.t;
+}
+
+let default_options =
+  {
+    include_tables = false;
+    include_constraints = false;
+    assignment = Vcassign.debugged;
+  }
+
+let buffer_printf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let deadlock_section r =
+  let buf = Buffer.create 1024 in
+  let pr fmt = buffer_printf buf fmt in
+  pr "## Deadlock analysis (%s)\n\n" r.Deadlock.assignment.Vcassign.name;
+  pr "| metric | value |\n|---|---|\n";
+  pr "| dependency rows | %d |\n" (List.length r.Deadlock.entries);
+  pr "| channels | %d |\n" (Vcgraph.Digraph.num_vertices r.Deadlock.vcg);
+  pr "| channel edges | %d |\n" (Vcgraph.Digraph.num_edges r.Deadlock.vcg);
+  pr "| cycles | %d |\n\n" (List.length r.Deadlock.cycles);
+  if r.Deadlock.cycles = [] then
+    pr "**No cycles: the assignment is deadlock free.**\n"
+  else begin
+    pr "**Potential deadlocks — each cycle needs review:**\n\n";
+    List.iteri
+      (fun i (c : _ Vcgraph.Cycles.cycle) ->
+        pr "%d. `%s`\n" (i + 1) (Format.asprintf "%a" Vcgraph.Cycles.pp c);
+        List.iter
+          (fun witnesses ->
+            match witnesses with
+            | (e : Dependency.entry) :: _ ->
+                pr "   - %s (%s)\n"
+                  (Format.asprintf "%a" Dependency.pp_dep e.dep)
+                  (Format.asprintf "%a" Dependency.pp_provenance e.provenance)
+            | [] -> ())
+          c.labels)
+      r.Deadlock.cycles
+  end;
+  Buffer.contents buf
+
+let invariant_section results =
+  let buf = Buffer.create 1024 in
+  let pr fmt = buffer_printf buf fmt in
+  let failures = Invariant.failures results in
+  pr "## Protocol invariants\n\n";
+  pr "%d invariants checked, %d failed.\n\n" (List.length results)
+    (List.length failures);
+  pr "| invariant | table | status | description |\n|---|---|---|---|\n";
+  List.iter
+    (fun (r : Invariant.result) ->
+      pr "| `%s` | %s | %s | %s |\n" r.invariant.id r.invariant.controller
+        (if r.passed then "ok" else "**FAIL**")
+        r.invariant.description)
+    results;
+  List.iter
+    (fun (r : Invariant.result) ->
+      pr "\n### Violations of `%s`\n\n```\n%s```\n" r.invariant.id
+        (Relalg.Table.to_string r.violations))
+    failures;
+  Buffer.contents buf
+
+let generate ?(options = default_options) () =
+  let buf = Buffer.create 8192 in
+  let pr fmt = buffer_printf buf fmt in
+  pr "# Enhanced architecture specification\n\n";
+  pr "Protocol: ASURA directory-based MESI coherence (reconstruction).\n\n";
+  pr "## Controller tables\n\n";
+  pr "| table | rows | columns | scenarios |\n|---|---|---|---|\n";
+  List.iter
+    (fun c ->
+      let t = Protocol.Ctrl_spec.table c.Protocol.spec in
+      pr "| %s | %d | %d | %d |\n" (Relalg.Table.name t)
+        (Relalg.Table.cardinality t) (Relalg.Table.arity t)
+        (List.length (Protocol.Ctrl_spec.scenarios c.Protocol.spec)))
+    Protocol.controllers;
+  pr "\n%d message types, %d busy states, %d placements considered.\n\n"
+    (List.length Protocol.Message.all)
+    (List.length Protocol.State.all_busy_states)
+    (List.length Protocol.Topology.all_placements);
+  if options.include_constraints then begin
+    pr "## Column constraints\n\n";
+    List.iter
+      (fun c ->
+        pr "```\n%s```\n\n"
+          (Protocol.Ctrl_spec.constraints_listing c.Protocol.spec))
+      Protocol.controllers
+  end;
+  if options.include_tables then begin
+    pr "## Full tables\n\n";
+    List.iter
+      (fun c ->
+        let t = Protocol.Ctrl_spec.table c.Protocol.spec in
+        pr "### %s\n\n```\n%s```\n\n" (Relalg.Table.name t)
+          (Relalg.Table.to_string t))
+      Protocol.controllers
+  end;
+  pr "## Virtual-channel assignment\n\n```\n%s```\n\n"
+    (Relalg.Table.to_string (Vcassign.to_table options.assignment));
+  pr "%s\n" (deadlock_section (Deadlock.analyze options.assignment));
+  pr "%s" (invariant_section (Invariant.run_all (Protocol.database ())));
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** The enhanced-architecture-specification report.
+
+    The paper's workflow produces "an enhanced architecture specification
+    … with multiple controller tables" plus the results of the static
+    analyses, which architects, designers and the testing team review.
+    This module renders that document as Markdown: the system inventory,
+    every controller table's statistics (optionally the full rows), the
+    channel assignment, the deadlock verdict with cycles, and the
+    invariant results. *)
+
+type options = {
+  include_tables : bool;  (** embed full controller tables (large) *)
+  include_constraints : bool;  (** embed the derived column constraints *)
+  assignment : Vcassign.t;
+}
+
+val default_options : options
+
+val generate : ?options:options -> unit -> string
+(** The full Markdown report for the built-in protocol. *)
+
+val deadlock_section : Deadlock.report -> string
+val invariant_section : Invariant.result list -> string

@@ -1,0 +1,94 @@
+open Relalg
+
+type assignment = { msg : string; src : string; dst : string; vc : string }
+type t = { name : string; rows : assignment list }
+
+let vc0 = "VC0"
+let vc1 = "VC1"
+let vc2 = "VC2"
+let vc3 = "VC3"
+let vc4 = "VC4"
+
+let role = Protocol.Topology.node_class_to_string
+
+let canonical m =
+  role m.Protocol.Message.src, role m.Protocol.Message.dst
+
+(* Channel for each message in its canonical direction, given the channel
+   used by the directory-to-memory request path. *)
+let base ~name ~mem_req_vc =
+  let assign m =
+    let src, dst = canonical m in
+    let open Protocol.Message in
+    let vc =
+      match m.category, m.class_ with
+      | Mem, Request -> Some mem_req_vc
+      | Mem, Response -> Some vc2
+      | Impl, _ -> None
+      | _, Request ->
+          if src = "local" && dst = "home" then Some vc0
+          else if src = "home" && dst = "remote" then Some vc1
+          else None
+      | _, Response ->
+          if src = "remote" && dst = "home" then Some vc2
+          else if src = "home" && dst = "local" then Some vc3
+          else None
+    in
+    Option.map (fun vc -> { msg = m.name; src; dst; vc }) vc
+  in
+  { name; rows = List.filter_map assign Protocol.Message.all }
+
+let initial = base ~name:"V-initial" ~mem_req_vc:vc0
+let with_vc4 = base ~name:"V-vc4" ~mem_req_vc:vc4
+
+let remove t ~msg ~src ~dst =
+  {
+    t with
+    rows =
+      List.filter
+        (fun a -> not (a.msg = msg && a.src = src && a.dst = dst))
+        t.rows;
+  }
+
+let debugged =
+  (* mread and the unacknowledged sharing writeback mupdate are the two
+     requests the directory issues while consuming responses; both move to
+     the dedicated hardware path (the paper's fix, which names mread). *)
+  let v = remove with_vc4 ~msg:"mread" ~src:"home" ~dst:"home" in
+  let v = remove v ~msg:"mupdate" ~src:"home" ~dst:"home" in
+  { v with name = "V-debugged" }
+
+let standard = [ initial; with_vc4; debugged ]
+
+let lookup t ~msg ~src ~dst =
+  List.find_map
+    (fun a ->
+      if a.msg = msg && a.src = src && a.dst = dst then Some a.vc else None)
+    t.rows
+
+let channels t =
+  List.sort_uniq String.compare (List.map (fun a -> a.vc) t.rows)
+
+let schema = Schema.of_list [ "m"; "s"; "d"; "v" ]
+
+let to_table t =
+  Table.of_rows ~name:t.name schema
+    (List.map
+       (fun a -> Row.strings [ a.msg; a.src; a.dst; a.vc ])
+       t.rows)
+
+let of_table tbl =
+  let rows =
+    List.filter_map
+      (fun row ->
+        match Array.to_list row with
+        | [ Value.Str msg; Value.Str src; Value.Str dst; Value.Str vc ] ->
+            Some { msg; src; dst; vc }
+        | _ -> None)
+      (Table.rows tbl)
+  in
+  { name = Table.name tbl; rows }
+
+let reassign t ~msg ~src ~dst ~vc =
+  let t = remove t ~msg ~src ~dst in
+  { t with rows = t.rows @ [ { msg; src; dst; vc } ] }

@@ -1,0 +1,30 @@
+let build entries =
+  (* Group the dependency entries by channel pair, preserving order. *)
+  let groups : (string * string, Dependency.entry list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let order = ref [] in
+  List.iter
+    (fun (e : Dependency.entry) ->
+      let key = e.dep.input.vc, e.dep.output.vc in
+      match Hashtbl.find_opt groups key with
+      | Some cell -> cell := e :: !cell
+      | None ->
+          Hashtbl.add groups key (ref [ e ]);
+          order := key :: !order)
+    entries;
+  List.fold_left
+    (fun g key ->
+      let src, dst = key in
+      let witnesses = List.rev !(Hashtbl.find groups key) in
+      Vcgraph.Digraph.add_edge ~src ~dst ~label:witnesses g)
+    Vcgraph.Digraph.empty (List.rev !order)
+
+let cycles ?limit g = Vcgraph.Cycles.enumerate ?limit g
+let is_acyclic g = Vcgraph.Scc.is_acyclic g
+
+let to_dot g =
+  Vcgraph.Dot.to_dot ~name:"vcg"
+    ~edge_label:(fun witnesses ->
+      Printf.sprintf "%d deps" (List.length witnesses))
+    g

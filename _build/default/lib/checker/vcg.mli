@@ -1,0 +1,23 @@
+(** The virtual-channel dependency graph (VCG).
+
+    Vertices are virtual channels; a directed edge (vc1, vc2) means some
+    protocol step consumes a message on vc1 only if it can queue one on
+    vc2.  Many dependency rows can induce the same channel edge, so each
+    edge carries the full list of witnessing dependency-table entries and
+    cycles are enumerated over the condensed channel graph — this is how
+    the paper reports them (cycles of channels, analyzed by reading the
+    rows along them). *)
+
+val build : Dependency.entry list -> Dependency.entry list Vcgraph.Digraph.t
+(** One edge per (input-channel, output-channel) pair; the label collects
+    every dependency entry witnessing the edge, in first-seen order. *)
+
+val cycles :
+  ?limit:int ->
+  Dependency.entry list Vcgraph.Digraph.t ->
+  Dependency.entry list Vcgraph.Cycles.cycle list
+
+val is_acyclic : Dependency.entry list Vcgraph.Digraph.t -> bool
+
+val to_dot : Dependency.entry list Vcgraph.Digraph.t -> string
+(** Graphviz rendering; edges annotated with a witness count. *)

@@ -1,0 +1,1 @@
+lib/graph/cycles.ml: Digraph Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Buffer Cycles Digraph Hashtbl List Printf String

@@ -1,0 +1,62 @@
+type 'a cycle = { nodes : string list; labels : 'a list }
+
+exception Limit
+
+(* Johnson's elementary-circuit algorithm.  Each cycle is discovered from
+   its lexicographically smallest vertex, so no cycle is reported twice. *)
+let enumerate ?(limit = 10_000) g =
+  let results = ref [] in
+  let count = ref 0 in
+  let run start =
+    let sub = Digraph.restrict g (fun v -> String.compare v start >= 0) in
+    let blocked = Hashtbl.create 16 in
+    let blist : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+    let rec unblock v =
+      if Hashtbl.mem blocked v then begin
+        Hashtbl.remove blocked v;
+        let bs = Option.value (Hashtbl.find_opt blist v) ~default:[] in
+        Hashtbl.remove blist v;
+        List.iter unblock bs
+      end
+    in
+    let rec circuit path v =
+      Hashtbl.replace blocked v ();
+      let found = ref false in
+      List.iter
+        (fun (w, label) ->
+          if w = start then begin
+            let full = List.rev ((v, label) :: path) in
+            results :=
+              { nodes = List.map fst full; labels = List.map snd full }
+              :: !results;
+            incr count;
+            if !count >= limit then raise Limit;
+            found := true
+          end
+          else if not (Hashtbl.mem blocked w) then
+            if circuit ((v, label) :: path) w then found := true)
+        (Digraph.successors sub v);
+      if !found then unblock v
+      else
+        List.iter
+          (fun (w, _) ->
+            let bs = Option.value (Hashtbl.find_opt blist w) ~default:[] in
+            if not (List.mem v bs) then Hashtbl.replace blist w (v :: bs))
+          (Digraph.successors sub v);
+      !found
+    in
+    ignore (circuit [] start)
+  in
+  (try List.iter run (Digraph.vertices g) with Limit -> ());
+  List.rev !results
+
+let count ?limit g = List.length (enumerate ?limit g)
+let involving cycles v = List.filter (fun c -> List.mem v c.nodes) cycles
+
+let pp fmt c =
+  match c.nodes with
+  | [] -> Format.pp_print_string fmt "<empty cycle>"
+  | first :: _ ->
+      Format.fprintf fmt "%s -> %s"
+        (String.concat " -> " c.nodes)
+        first

@@ -1,0 +1,24 @@
+(** Elementary-cycle enumeration (Johnson's algorithm).
+
+    The paper reports the cycles of the VCG so designers can analyse each
+    one manually (section 4.2); this module produces them with the edge
+    labels (dependency rows) along the cycle, which is exactly what the
+    deadlock report prints. *)
+
+type 'a cycle = {
+  nodes : string list;  (** vertices in order; the cycle closes back to the head *)
+  labels : 'a list;  (** label of the edge leaving each vertex, same order *)
+}
+
+val enumerate : ?limit:int -> 'a Digraph.t -> 'a cycle list
+(** All elementary cycles, each reported once starting from its smallest
+    vertex.  [limit] (default 10_000) caps the number returned, guarding
+    against pathological dependency tables. *)
+
+val count : ?limit:int -> 'a Digraph.t -> int
+
+val involving : 'a cycle list -> string -> 'a cycle list
+(** Cycles passing through the given vertex. *)
+
+val pp : Format.formatter -> 'a cycle -> unit
+(** Renders as [vc2 -> vc4 -> vc2]. *)

@@ -1,0 +1,70 @@
+module Smap = Map.Make (String)
+
+type 'a t = { succ : (string * 'a) list Smap.t }
+
+let empty = { succ = Smap.empty }
+
+let add_vertex v g =
+  if Smap.mem v g.succ then g else { succ = Smap.add v [] g.succ }
+
+let add_edge ~src ~dst ~label g =
+  let g = add_vertex src (add_vertex dst g) in
+  let outs = Smap.find src g.succ in
+  if List.exists (fun (d, l) -> d = dst && l = label) outs then g
+  else { succ = Smap.add src ((dst, label) :: outs) g.succ }
+
+let of_edges es =
+  List.fold_left (fun g (src, dst, label) -> add_edge ~src ~dst ~label g) empty es
+
+let vertices g = List.map fst (Smap.bindings g.succ)
+
+let successors g v =
+  match Smap.find_opt v g.succ with Some outs -> outs | None -> []
+
+let edges g =
+  Smap.fold
+    (fun src outs acc ->
+      List.fold_left (fun acc (dst, l) -> (src, dst, l) :: acc) acc outs)
+    g.succ []
+
+let mem_vertex g v = Smap.mem v g.succ
+let mem_edge g ~src ~dst = List.exists (fun (d, _) -> d = dst) (successors g src)
+let num_vertices g = Smap.cardinal g.succ
+let num_edges g = Smap.fold (fun _ outs acc -> acc + List.length outs) g.succ 0
+
+let transpose g =
+  List.fold_left
+    (fun acc (src, dst, label) -> add_edge ~src:dst ~dst:src ~label acc)
+    (List.fold_left (fun acc v -> add_vertex v acc) empty (vertices g))
+    (edges g)
+
+let restrict g keep =
+  Smap.fold
+    (fun src outs acc ->
+      if not (keep src) then acc
+      else
+        let acc = add_vertex src acc in
+        List.fold_left
+          (fun acc (dst, label) ->
+            if keep dst then add_edge ~src ~dst ~label acc else acc)
+          acc outs)
+    g.succ empty
+
+let reachable g source =
+  let visited = Hashtbl.create 16 in
+  let rec go v =
+    if not (Hashtbl.mem visited v) then begin
+      Hashtbl.add visited v ();
+      List.iter (fun (d, _) -> go d) (successors g v)
+    end
+  in
+  if mem_vertex g source then go source;
+  List.sort String.compare (Hashtbl.fold (fun v () acc -> v :: acc) visited [])
+
+let self_loops g =
+  Smap.fold
+    (fun src outs acc ->
+      List.fold_left
+        (fun acc (dst, l) -> if src = dst then (src, l) :: acc else acc)
+        acc outs)
+    g.succ []

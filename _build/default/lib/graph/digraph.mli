@@ -1,0 +1,36 @@
+(** Directed graphs with string vertices and labelled edges.
+
+    Used for the virtual-channel dependency graph (VCG): vertices are
+    virtual channels, edge labels carry the dependency-table row that
+    induced the edge so cycle reports can be traced back to protocol
+    scenarios. *)
+
+type 'a t
+
+val empty : 'a t
+val add_vertex : string -> 'a t -> 'a t
+val add_edge : src:string -> dst:string -> label:'a -> 'a t -> 'a t
+(** Adds both endpoints as vertices if absent.  Parallel edges with
+    distinct labels are kept; an identical (src, dst, label) edge is not
+    duplicated when labels are structurally comparable. *)
+
+val of_edges : (string * string * 'a) list -> 'a t
+val vertices : 'a t -> string list
+(** Sorted. *)
+
+val successors : 'a t -> string -> (string * 'a) list
+(** Outgoing (dst, label) pairs; empty for unknown vertices. *)
+
+val edges : 'a t -> (string * string * 'a) list
+val mem_vertex : 'a t -> string -> bool
+val mem_edge : 'a t -> src:string -> dst:string -> bool
+val num_vertices : 'a t -> int
+val num_edges : 'a t -> int
+val transpose : 'a t -> 'a t
+val restrict : 'a t -> (string -> bool) -> 'a t
+(** Induced subgraph on the vertices satisfying the predicate. *)
+
+val reachable : 'a t -> string -> string list
+(** Vertices reachable from a source (including it), sorted. *)
+
+val self_loops : 'a t -> (string * 'a) list

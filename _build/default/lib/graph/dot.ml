@@ -1,0 +1,56 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+      (List.init (String.length s) (String.get s)))
+
+let to_dot ?(name = "vcg") ?edge_label g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" (escape v)))
+    (Digraph.vertices g);
+  List.iter
+    (fun (src, dst, l) ->
+      let attr =
+        match edge_label with
+        | None -> ""
+        | Some f -> Printf.sprintf " [label=\"%s\"]" (escape (f l))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\"%s;\n" (escape src) (escape dst) attr))
+    (Digraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let highlight_cycles ?(name = "vcg") g cycles =
+  let on_cycle = Hashtbl.create 16 in
+  List.iter
+    (fun (c : _ Cycles.cycle) ->
+      let rec mark = function
+        | [] -> ()
+        | [ last ] -> (
+            match c.nodes with
+            | first :: _ -> Hashtbl.replace on_cycle (last, first) ()
+            | [] -> ())
+        | a :: (b :: _ as rest) ->
+            Hashtbl.replace on_cycle (a, b) ();
+            mark rest
+      in
+      mark c.nodes)
+    cycles;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" (escape v)))
+    (Digraph.vertices g);
+  List.iter
+    (fun (src, dst, _) ->
+      let attr =
+        if Hashtbl.mem on_cycle (src, dst) then
+          " [color=red, penwidth=2.0]"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\"%s;\n" (escape src) (escape dst) attr))
+    (Digraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

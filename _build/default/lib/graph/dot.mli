@@ -1,0 +1,13 @@
+(** Graphviz DOT export of dependency graphs, for inclusion in design
+    reviews (the paper's workflow hands cycle reports to architects). *)
+
+val to_dot :
+  ?name:string ->
+  ?edge_label:('a -> string) ->
+  'a Digraph.t ->
+  string
+(** Render a digraph; [edge_label] (default: none) annotates edges. *)
+
+val highlight_cycles :
+  ?name:string -> 'a Digraph.t -> 'a Cycles.cycle list -> string
+(** Render with edges on any given cycle drawn red and bold. *)

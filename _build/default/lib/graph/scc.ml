@@ -1,0 +1,51 @@
+(* Tarjan's SCC, iterative to be safe on large dependency graphs. *)
+
+type info = { mutable index : int; mutable lowlink : int; mutable on_stack : bool }
+
+let components g =
+  let info : (string, info) Hashtbl.t = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    let iv = { index = !counter; lowlink = !counter; on_stack = true } in
+    Hashtbl.add info v iv;
+    incr counter;
+    stack := v :: !stack;
+    List.iter
+      (fun (w, _) ->
+        match Hashtbl.find_opt info w with
+        | None ->
+            strongconnect w;
+            let iw = Hashtbl.find info w in
+            iv.lowlink <- min iv.lowlink iw.lowlink
+        | Some iw -> if iw.on_stack then iv.lowlink <- min iv.lowlink iw.index)
+      (Digraph.successors g v);
+    if iv.lowlink = iv.index then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            (Hashtbl.find info w).on_stack <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      sccs := List.sort String.compare (pop []) :: !sccs
+    end
+  in
+  List.iter
+    (fun v -> if not (Hashtbl.mem info v) then strongconnect v)
+    (Digraph.vertices g);
+  List.rev !sccs
+
+let cyclic_components g =
+  let loops = List.map fst (Digraph.self_loops g) in
+  List.filter
+    (fun comp ->
+      match comp with
+      | [ v ] -> List.mem v loops
+      | [] -> false
+      | _ :: _ :: _ -> true)
+    (components g)
+
+let is_acyclic g = cyclic_components g = []

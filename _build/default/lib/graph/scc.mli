@@ -1,0 +1,14 @@
+(** Strongly connected components (Tarjan's algorithm, iterative).
+
+    The deadlock check only needs to know whether the VCG has a cycle: that
+    is equivalent to some SCC having more than one vertex or a vertex with
+    a self-loop. *)
+
+val components : 'a Digraph.t -> string list list
+(** SCCs in reverse topological order; each component sorted. *)
+
+val cyclic_components : 'a Digraph.t -> string list list
+(** Components that contain a cycle: size > 1, or a single vertex with a
+    self-loop. *)
+
+val is_acyclic : 'a Digraph.t -> bool

@@ -1,0 +1,1 @@
+lib/mapping/codegen.ml: Array Buffer Database Extend Hashtbl List Option Partition Printf Relalg Schema String Table Value

@@ -1,0 +1,1 @@
+lib/mapping/codegen.mli: Relalg

@@ -1,0 +1,1 @@
+lib/mapping/extend.ml: Array Database List Protocol Relalg Schema Table Value

@@ -1,0 +1,1 @@
+lib/mapping/extend.mli: Relalg

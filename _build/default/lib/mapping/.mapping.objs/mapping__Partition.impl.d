@@ -1,0 +1,1 @@
+lib/mapping/partition.ml: Extend List Printf Relalg String

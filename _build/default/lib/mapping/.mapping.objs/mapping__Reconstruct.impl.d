@@ -1,0 +1,1 @@
+lib/mapping/reconstruct.ml: Database Expr Extend List Ops Partition Protocol Relalg Schema Table Value

@@ -1,0 +1,1 @@
+lib/mapping/reconstruct.mli: Relalg

@@ -1,0 +1,47 @@
+type group = {
+  table_name : string;
+  side : [ `Request | `Response ];
+  payload : string list;
+}
+
+let locmsg_cols = [ "locmsg"; "locmsgsrc"; "locmsgdest"; "locmsgres" ]
+let remmsg_cols = [ "remmsg"; "remmsgsrc"; "remmsgdest"; "remmsgres" ]
+let memmsg_cols = [ "memmsg"; "memmsgsrc"; "memmsgdest"; "memmsgres" ]
+let dirupd_cols = [ "nxtdirst"; "nxtdirpv"; "dirwr"; "fdback" ]
+let bdirupd_cols = [ "bdirop"; "nxtbdirst"; "nxtbdirpv" ]
+
+let groups =
+  [
+    { table_name = "Request_locmsg"; side = `Request; payload = locmsg_cols };
+    { table_name = "Request_remmsg"; side = `Request; payload = remmsg_cols };
+    { table_name = "Request_memmsg"; side = `Request; payload = memmsg_cols };
+    { table_name = "Request_dirupd"; side = `Request; payload = dirupd_cols };
+    {
+      table_name = "Request_bdirupd";
+      side = `Request;
+      payload = bdirupd_cols @ [ "datasrc" ];
+    };
+    { table_name = "Response_locmsg";
+      side = `Response;
+      payload = locmsg_cols @ [ "datasrc" ] };
+    { table_name = "Response_memmsg"; side = `Response; payload = memmsg_cols };
+    { table_name = "Response_dirupd"; side = `Response; payload = dirupd_cols };
+    { table_name = "Response_bdirupd"; side = `Response; payload = bdirupd_cols };
+  ]
+
+let statement g =
+  let cols = Extend.input_columns @ g.payload in
+  let side_pred =
+    match g.side with
+    | `Request -> "isrequest(inmsg)"
+    | `Response -> "isresponse(inmsg)"
+  in
+  Printf.sprintf "CREATE TABLE %s AS SELECT DISTINCT %s FROM ED WHERE %s"
+    g.table_name (String.concat ", " cols) side_pred
+
+let sql_statements () = List.map statement groups
+
+let run () = Relalg.Sql_exec.exec_script (Extend.database ()) (sql_statements ())
+
+let implementation_tables db =
+  List.map (fun g -> Relalg.Database.find db g.table_name) groups

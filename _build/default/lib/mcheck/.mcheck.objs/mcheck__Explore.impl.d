@@ -1,0 +1,1 @@
+lib/mcheck/explore.ml: Format Hashtbl List Mstate Printf Queue Semantics String Sys

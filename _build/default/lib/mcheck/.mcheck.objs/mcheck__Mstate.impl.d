@@ -1,0 +1,1 @@
+lib/mcheck/mstate.ml: Array Format Fun List Marshal Option Printf String

@@ -1,0 +1,1 @@
+lib/mcheck/semantics.ml: Fun List Mapping Mstate Option Printf Protocol String

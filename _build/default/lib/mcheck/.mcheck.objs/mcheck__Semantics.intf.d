@@ -1,0 +1,1 @@
+lib/mcheck/semantics.mli: Mapping Mstate Protocol

@@ -1,0 +1,108 @@
+type violation = {
+  kind : [ `Coherence | `Stale_data | `Unhandled | `Deadlock ];
+  detail : string;
+  trace : string list;
+}
+
+type result = {
+  explored : int;
+  transitions : int;
+  max_depth : int;
+  elapsed : float;
+  violation : violation option;
+  complete : bool;
+}
+
+let classify detail =
+  if String.length detail >= 5 && String.sub detail 0 5 = "stale" then
+    `Stale_data
+  else `Unhandled
+
+let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
+  let tables = match tables with Some t -> t | None -> Semantics.load_tables () in
+  let t0 = Sys.time () in
+  let state_key =
+    if symmetry then Mstate.canonical_key ~nodes:config.Semantics.nodes
+    else Mstate.key
+  in
+  let initial = Mstate.initial ~nodes:config.Semantics.nodes ~addrs:config.addrs in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let parent : (string, string * string) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let initial_key = state_key initial in
+  Hashtbl.add visited initial_key ();
+  Queue.add (initial, initial_key, 0) queue;
+  let explored = ref 0 and transitions = ref 0 and max_depth = ref 0 in
+  let trace_to key =
+    let rec go key acc =
+      match Hashtbl.find_opt parent key with
+      | None -> acc
+      | Some (pkey, label) -> go pkey (label :: acc)
+    in
+    go key []
+  in
+  let finish violation complete =
+    {
+      explored = !explored;
+      transitions = !transitions;
+      max_depth = !max_depth;
+      elapsed = Sys.time () -. t0;
+      violation;
+      complete;
+    }
+  in
+  let exception Found of violation in
+  try
+    while not (Queue.is_empty queue) do
+      if !explored >= max_states then raise Exit;
+      let st, key, depth = Queue.take queue in
+      incr explored;
+      if depth > !max_depth then max_depth := depth;
+      (match Semantics.state_violations config st with
+      | [] -> ()
+      | detail :: _ ->
+          raise (Found { kind = `Coherence; detail; trace = trace_to key }));
+      let succs = Semantics.successors tables config st in
+      if succs = [] && not (Mstate.quiescent st) then
+        raise
+          (Found
+             {
+               kind = `Deadlock;
+               detail = "no transition enabled but work is pending";
+               trace = trace_to key;
+             });
+      List.iter
+        (fun (label, outcome) ->
+          incr transitions;
+          match outcome with
+          | Semantics.Broken detail ->
+              raise
+                (Found
+                   {
+                     kind = classify detail;
+                     detail;
+                     trace = trace_to key @ [ label ];
+                   })
+          | Semantics.Next st' ->
+              let key' = state_key st' in
+              if not (Hashtbl.mem visited key') then begin
+                Hashtbl.add visited key' ();
+                Hashtbl.add parent key' (key, label);
+                Queue.add (st', key', depth + 1) queue
+              end)
+        succs
+    done;
+    finish None true
+  with
+  | Exit -> finish None false
+  | Found v -> finish (Some v) true
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "states=%d transitions=%d depth=%d time=%.2fs %s" r.explored r.transitions
+    r.max_depth r.elapsed
+    (match r.violation with
+    | None -> if r.complete then "no violations" else "bounded, no violations"
+    | Some v ->
+        Printf.sprintf "VIOLATION %s (trace length %d)" v.detail
+          (List.length v.trace))

@@ -1,0 +1,37 @@
+(** Breadth-first explicit-state exploration with counterexample traces.
+
+    This is the Murphi-style baseline the paper positions itself against:
+    exhaustive, able to find deep interleavings, and exponential in the
+    number of nodes — experiment E9 sweeps [nodes] and shows the state
+    count exploding while the SQL static analysis stays flat. *)
+
+type violation = {
+  kind : [ `Coherence | `Stale_data | `Unhandled | `Deadlock ];
+  detail : string;
+  trace : string list;  (** transition labels from the initial state *)
+}
+
+type result = {
+  explored : int;  (** distinct states visited *)
+  transitions : int;
+  max_depth : int;
+  elapsed : float;  (** seconds *)
+  violation : violation option;  (** first violation found, if any *)
+  complete : bool;  (** false if [max_states] stopped the search *)
+}
+
+val run :
+  ?max_states:int ->
+  ?symmetry:bool ->
+  ?tables:Semantics.tables ->
+  Semantics.config ->
+  result
+(** BFS from the all-invalid initial state.  [max_states] (default
+    200_000) bounds the search; [tables] lets callers reuse precompiled
+    rule lists across runs.  [symmetry] (default false) visits one
+    representative per node-permutation orbit
+    ({!Mstate.canonical_key}) — same verdicts, far fewer states;
+    counterexample traces then describe a representative of each orbit
+    rather than the literal interleaving. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,530 @@
+open Mstate
+
+type tables = {
+  d_rules : Mapping.Codegen.rule list;
+  c_rules : Mapping.Codegen.rule list;
+  n_rules : Mapping.Codegen.rule list;
+  pif_rules : Mapping.Codegen.rule list;
+  m_rules : Mapping.Codegen.rule list;
+  io_rules : Mapping.Codegen.rule list;
+}
+
+let rules_of (c : Protocol.controller) =
+  let spec = c.Protocol.spec in
+  Mapping.Codegen.rules_of_table
+    ~inputs:(Protocol.Ctrl_spec.input_columns spec)
+    ~outputs:(Protocol.Ctrl_spec.output_columns spec)
+    (Protocol.Ctrl_spec.table spec)
+
+let load_tables_with ?dir () =
+  let d_rules =
+    match dir with
+    | None -> rules_of Protocol.directory
+    | Some spec ->
+        Mapping.Codegen.rules_of_table
+          ~inputs:(Protocol.Ctrl_spec.input_columns spec)
+          ~outputs:(Protocol.Ctrl_spec.output_columns spec)
+          (fst (Protocol.Ctrl_spec.generate spec))
+  in
+  {
+    d_rules;
+    c_rules = rules_of Protocol.cache;
+    n_rules = rules_of Protocol.node;
+    pif_rules = rules_of Protocol.pif;
+    m_rules = rules_of Protocol.memory;
+    io_rules = rules_of Protocol.io;
+  }
+
+let load_tables () = load_tables_with ()
+
+let directory_rules t = t.d_rules
+
+type config = {
+  nodes : int;
+  addrs : int;
+  ops : string list;
+  capacity : int;
+  io_addrs : int list;  (* addresses living in the uncached I/O space *)
+  lossy : bool;  (* inter-node links may drop messages (LK crcdrop) *)
+}
+type outcome = Next of Mstate.t | Broken of string
+
+let eval rules binding = Mapping.Codegen.eval_rules rules binding
+let bit n = 1 lsl n
+let data_bearing m =
+  List.mem m
+    [ "data"; "datax"; "mdata"; "sdata"; "swbdata"; "wb"; "mwrite"; "mupdate" ]
+
+(* The request a node reissues after a retry, from its pending op. *)
+let request_of_pendop = function
+  | "read" -> Some "read"
+  | "ifetch" -> Some "fetch"
+  | "write" -> Some "readex"
+  | "rmw" -> Some "swap"
+  | "upgrade" -> Some "upgrade"
+  | "wback" -> Some "wb"
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Directory                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dir_binding config st ~cls msg =
+  let a = addr_state st msg.addr in
+  let addrspace =
+    if List.mem msg.addr config.io_addrs then "io" else "mem"
+  in
+  let src_role =
+    if cls = "reqq" || cls = "ackq" then "local"
+    else if msg.src = mem then "home"
+    else "remote"
+  in
+  [
+    "inmsg", msg.m; "inmsgsrc", src_role; "inmsgdest", "home";
+    "inmsgres", cls; "addrspace", addrspace; "dirst", a.dirst;
+    "dirpv", pv_encode a.sharers;
+    "reqpv", (if a.sharers land bit msg.src <> 0 then "in" else "out");
+    "bdirst", (match a.busy with Some b -> b.bst | None -> "I");
+    "bdirpv", (match a.busy with Some b -> pv_encode b.acks | None -> "zero");
+    "dirlookup", (if a.dirst = "I" then "miss" else "hit");
+    "bdirlookup", (if a.busy = None then "miss" else "hit");
+  ]
+
+let deliver_dir tables config st cls msg =
+  let a = addr_state st msg.addr in
+  let binding = dir_binding config st ~cls msg in
+  match eval tables.d_rules binding with
+  | None ->
+      Broken
+        (Printf.sprintf "D has no row for %s (%s) dirst=%s bdirst=%s" msg.m
+           (List.assoc "inmsgsrc" binding)
+           a.dirst
+           (match a.busy with Some b -> b.bst | None -> "I"))
+  | Some outputs ->
+      let field c = List.assoc_opt c outputs in
+      let requester =
+        match cls, a.busy with
+        | "reqq", _ -> msg.src
+        | _, Some b -> b.requester
+        | _, None -> msg.src
+      in
+      (* freshness of any data this row forwards to the requester *)
+      let incoming_fresh =
+        if data_bearing msg.m then Some msg.fresh else None
+      in
+      let forwarded_fresh =
+        match incoming_fresh, a.busy with
+        | Some f, _ -> f
+        | None, Some b -> b.data_fresh
+        | None, None -> true
+      in
+      (* snoop targets, before any state update *)
+      let drepl = field "nxtbdirpv" = Some "drepl" in
+      let targets =
+        match field "remmsg" with
+        | None -> 0
+        | Some "sinv" ->
+            if drepl then a.sharers land lnot (bit requester) else a.sharers
+        | Some _ -> a.sharers
+      in
+      let st = ref st in
+      (match field "locmsg" with
+      | Some locmsg ->
+          st :=
+            enqueue !st ~cls:"resp"
+              {
+                m = locmsg; src = dir; dst = requester; addr = msg.addr;
+                fresh =
+                  (if data_bearing locmsg then forwarded_fresh else true);
+              }
+      | None -> ());
+      (match field "remmsg" with
+      | Some remmsg ->
+          List.iter
+            (fun n ->
+              if targets land bit n <> 0 then
+                st :=
+                  enqueue !st ~cls:"snp"
+                    { m = remmsg; src = dir; dst = n; addr = msg.addr;
+                      fresh = true })
+            (List.init 16 Fun.id)
+      | None -> ());
+      (match field "memmsg" with
+      | Some memmsg ->
+          st :=
+            enqueue !st ~cls:"memq"
+              {
+                m = memmsg; src = dir; dst = mem; addr = msg.addr;
+                fresh =
+                  (if memmsg = "mwrite" || memmsg = "mupdate" then
+                     forwarded_fresh
+                   else true);
+              }
+      | None -> ());
+      (* busy-directory operation *)
+      let base = match a.busy with Some b -> b.snapshot | None -> a.sharers in
+      let busy' =
+        match field "bdirop" with
+        | Some "alloc" ->
+            Some
+              {
+                bst = Option.value (field "nxtbdirst") ~default:"I";
+                requester;
+                acks = targets;
+                snapshot =
+                  (if drepl then a.sharers land lnot (bit requester)
+                   else a.sharers);
+                data_fresh = forwarded_fresh;
+              }
+        | Some "update" ->
+            Option.map
+              (fun b ->
+                let acks =
+                  if
+                    cls = "respq"
+                    && List.mem msg.m
+                         [ "idone"; "sack"; "snack"; "sdata"; "swbdata" ]
+                  then b.acks land lnot (bit msg.src)
+                  else b.acks
+                in
+                {
+                  b with
+                  bst = Option.value (field "nxtbdirst") ~default:b.bst;
+                  acks;
+                  data_fresh = forwarded_fresh;
+                })
+              a.busy
+        | Some "dealloc" -> None
+        | _ -> a.busy
+      in
+      (* directory state and concrete presence-vector operation *)
+      let dirst' = Option.value (field "nxtdirst") ~default:a.dirst in
+      let sharers' =
+        match field "nxtdirpv" with
+        | Some "repl" -> bit requester
+        | Some "inc" -> base lor bit requester
+        | Some "dec" ->
+            let actor = if cls = "reqq" then msg.src else requester in
+            a.sharers land lnot (bit actor)
+        | Some "drepl" -> base land lnot (bit requester)
+        | _ -> a.sharers
+      in
+      let sharers' = if field "nxtdirst" = Some "I" then 0 else sharers' in
+      st :=
+        set_addr !st msg.addr
+          { a with dirst = dirst'; sharers = sharers'; busy = busy' };
+      Next !st
+
+(* ------------------------------------------------------------------ *)
+(* Node: snoops and responses                                          *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_snoop tables st node msg =
+  let binding =
+    [
+      "inmsg", msg.m; "inmsgsrc", "home"; "inmsgdest", "remote";
+      "inmsgres", "snpq"; "cachest", cache st ~node ~addr:msg.addr;
+    ]
+  in
+  match eval tables.c_rules binding with
+  | None ->
+      Broken
+        (Printf.sprintf "C has no row for %s at node %d in %s" msg.m node
+           (cache st ~node ~addr:msg.addr))
+  | Some outputs ->
+      let st = ref st in
+      (match List.assoc_opt "respmsg" outputs with
+      | Some resp ->
+          st :=
+            enqueue !st ~cls:"respq"
+              { m = resp; src = node; dst = dir; addr = msg.addr; fresh = true }
+      | None -> ());
+      (match List.assoc_opt "nxtcachest" outputs with
+      | Some c -> st := set_cache !st ~node ~addr:msg.addr c
+      | None -> ());
+      Next !st
+
+let deliver_response tables st node msg =
+  let pendop = pending st ~node ~addr:msg.addr in
+  let binding =
+    [
+      "inmsg", msg.m; "inmsgsrc", "home"; "inmsgdest", "local";
+      "inmsgres", "respq";
+      "pendop", Option.value pendop ~default:"none";
+    ]
+  in
+  match eval tables.n_rules binding with
+  | None ->
+      Broken
+        (Printf.sprintf "N has no row for %s at node %d pending %s" msg.m node
+           (Option.value pendop ~default:"none"))
+  | Some outputs ->
+      let field c = List.assoc_opt c outputs in
+      if data_bearing msg.m && not msg.fresh then
+        Broken
+          (Printf.sprintf "stale data: %s delivered to node %d for addr %d"
+             msg.m node msg.addr)
+      else begin
+        let st = ref st in
+        (match field "cachefill" with
+        | Some "shared" -> st := set_cache !st ~node ~addr:msg.addr "S"
+        | Some "excl" ->
+            st := set_cache !st ~node ~addr:msg.addr "M";
+            (* the new owner will write: memory is no longer current *)
+            let a = addr_state !st msg.addr in
+            st := set_addr !st msg.addr { a with mem_fresh = false }
+        | _ -> ());
+        (match field "ackmsg" with
+        | Some ackmsg ->
+            st :=
+              enqueue !st ~cls:"ackq"
+                { m = ackmsg; src = node; dst = dir; addr = msg.addr;
+                  fresh = true }
+        | None -> ());
+        (match field "procresult" with
+        | Some ("done" | "fault") ->
+            st := set_pending !st ~node ~addr:msg.addr None
+        | Some "retrylater" -> (
+            (* the node controller emits nothing: the processor interface
+               reissues later, as a separate (backpressurable) step --
+               consuming a retry must never need request-channel space *)
+            match pendop with
+            | Some op ->
+                st := set_pending !st ~node ~addr:msg.addr (Some ("backoff:" ^ op))
+            | None -> ())
+        | _ -> ());
+        Next !st
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_mem tables st msg =
+  let io_request = msg.m = "mioread" || msg.m = "miowrite" in
+  let binding =
+    [ "inmsg", msg.m; "inmsgsrc", "home"; "inmsgdest", "home";
+      "inmsgres", "memq" ]
+    @ (if io_request then [ "devst", "ready" ] else [ "eccst", "ok" ])
+  in
+  match eval (if io_request then tables.io_rules else tables.m_rules) binding with
+  | None -> Broken (Printf.sprintf "M/IO has no row for %s" msg.m)
+  | Some outputs ->
+      let a = addr_state st msg.addr in
+      let st =
+        if msg.m = "mwrite" || msg.m = "mupdate" then
+          set_addr st msg.addr { a with mem_fresh = msg.fresh }
+        else st
+      in
+      let a = addr_state st msg.addr in
+      let st =
+        match List.assoc_opt "outmsg" outputs with
+        | Some resp ->
+            enqueue st ~cls:"respq"
+              {
+                m = resp; src = mem; dst = dir; addr = msg.addr;
+                fresh = (if resp = "mdata" then a.mem_fresh else true);
+              }
+        | None -> st
+      in
+      Next st
+
+(* ------------------------------------------------------------------ *)
+(* Processor issue                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let issue tables st node addr op =
+  let cachest = cache st ~node ~addr in
+  let binding = [ "procop", op; "cachest", cachest ] in
+  match eval tables.pif_rules binding with
+  | None -> None
+  | Some outputs ->
+      let field c = List.assoc_opt c outputs in
+      (match field "reqmsg" with
+      | None -> None (* a pure cache hit changes nothing: skip *)
+      | Some req ->
+          let st =
+            enqueue st ~cls:"reqq"
+              { m = req; src = node; dst = dir; addr; fresh = true }
+          in
+          let st =
+            match field "pendop" with
+            | Some p -> set_pending st ~node ~addr (Some p)
+            | None -> st
+          in
+          (* evictions drop the line from the cache as they issue *)
+          let st =
+            if op = "evictmod" || op = "evictsh" then
+              set_cache st ~node ~addr "I"
+            else st
+          in
+          Some st)
+
+(* A backed-off operation re-enters the network as a fresh request. *)
+let backoff_of pend =
+  match pend with
+  | Some s when String.length s > 8 && String.sub s 0 8 = "backoff:" ->
+      Some (String.sub s 8 (String.length s - 8))
+  | _ -> None
+
+let reissue st ~node ~addr =
+  match backoff_of (pending st ~node ~addr) with
+  | None -> None
+  | Some op -> (
+      match request_of_pendop op with
+      | None -> None
+      | Some req ->
+          let st =
+            enqueue st ~cls:"reqq"
+              { m = req; src = node; dst = dir; addr; fresh = true }
+          in
+          Some (set_pending st ~node ~addr (Some op)))
+
+(* ------------------------------------------------------------------ *)
+(* Successor relation and structural checks                            *)
+(* ------------------------------------------------------------------ *)
+
+let within_capacity config st =
+  List.for_all
+    (fun (_, q) -> List.length q <= config.capacity)
+    st.Mstate.queues
+
+let successors tables config st =
+  let io_op op = List.mem op [ "ioload"; "iostore"; "iormwop" ] in
+  let reissues =
+    List.concat_map
+      (fun node ->
+        List.filter_map
+          (fun addr ->
+            match reissue st ~node ~addr with
+            | Some st' when within_capacity config st' ->
+                Some
+                  (Printf.sprintf "reissue node%d addr%d" node addr, Next st')
+            | Some _ | None -> None)
+          (List.init config.addrs Fun.id))
+      (List.init config.nodes Fun.id)
+  in
+  let issues =
+    List.concat_map
+      (fun node ->
+        List.concat_map
+          (fun addr ->
+            let is_io = List.mem addr config.io_addrs in
+            if pending st ~node ~addr <> None then []
+            else
+              List.filter_map
+                (fun op ->
+                  if io_op op <> is_io then None
+                  else
+                  match issue tables st node addr op with
+                  | Some st' when within_capacity config st' ->
+                      Some
+                        ( Printf.sprintf "issue %s node%d addr%d" op node addr,
+                          Next st' )
+                  | Some _ | None -> None)
+                config.ops)
+          (List.init config.addrs Fun.id))
+      (List.init config.nodes Fun.id)
+  in
+  let deliveries =
+    List.filter_map
+      (fun ((_, dst, cls), msg) ->
+        let label =
+          Printf.sprintf "deliver %s %d->%d (%s) addr%d" msg.m msg.src dst cls
+            msg.addr
+        in
+        let st' =
+          match dequeue st (msg.src, dst, cls) with
+          | Some (_, st') -> st'
+          | None -> assert false
+        in
+        let outcome =
+          if dst = dir then deliver_dir tables config st' cls msg
+          else if dst = mem then deliver_mem tables st' msg
+          else if cls = "snp" then deliver_snoop tables st' dst msg
+          else deliver_response tables st' dst msg
+        in
+        match outcome with
+        | Next s when not (within_capacity config s) ->
+            None (* backpressure: the consumer stalls on a full queue *)
+        | outcome -> Some (label, outcome))
+      (queue_heads st)
+  in
+  let drops =
+    if not config.lossy then []
+    else
+      (* a faulty link silently drops an inter-node message (the link
+         controller's crcdrop row); intra-node and reserved resources
+         (memq, ackq) are not links *)
+      List.filter_map
+        (fun ((src, dst, cls), (msg : Mstate.msg)) ->
+          if List.mem cls [ "reqq"; "respq"; "snp"; "resp" ] then
+            match dequeue st (src, dst, cls) with
+            | Some (_, st') ->
+                Some
+                  ( Printf.sprintf "DROP %s %d->%d (%s) addr%d" msg.m src dst
+                      cls msg.addr,
+                    Next st' )
+            | None -> None
+          else None)
+        (queue_heads st)
+  in
+  reissues @ issues @ deliveries @ drops
+
+let deliver ?(config = { nodes = 0; addrs = 0; ops = []; capacity = 0; io_addrs = []; lossy = false })
+    tables st ~cls ~dst msg =
+  if dst = dir then deliver_dir tables config st cls msg
+  else if dst = mem then deliver_mem tables st msg
+  else if cls = "snp" then deliver_snoop tables st dst msg
+  else deliver_response tables st dst msg
+
+let issue_op tables st ~node ~addr ~op = issue tables st node addr op
+
+let state_violations config st =
+  List.concat
+    (List.mapi
+       (fun addr a ->
+         let caches =
+           List.init config.nodes (fun n -> n, cache st ~node:n ~addr)
+         in
+         let owners = List.filter (fun (_, c) -> c = "M" || c = "E") caches in
+         let sharers = List.filter (fun (_, c) -> c = "S") caches in
+         let multi_owner =
+           if List.length owners > 1 then
+             [ Printf.sprintf "addr %d: multiple owners" addr ]
+           else []
+         in
+         let owner_and_sharer =
+           if owners <> [] && sharers <> [] then
+             [ Printf.sprintf "addr %d: owner coexists with sharers" addr ]
+           else []
+         in
+         let orphaned =
+           (* a busy transaction with nothing in flight for its address
+              and no backed-off request that could regenerate traffic can
+              never complete: the protocol-level consequence of a lost
+              message *)
+           if
+             a.busy <> None
+             && (not (List.exists (fun (_, q) ->
+                     List.exists (fun m -> m.addr = addr) q) st.queues))
+             && not
+                  (List.exists
+                     (fun n ->
+                       backoff_of (pending st ~node:n ~addr) <> None)
+                     (List.init config.nodes Fun.id))
+           then [ Printf.sprintf "addr %d: orphaned busy transaction" addr ]
+           else []
+         in
+         let idle_invalid =
+           (* only meaningful when nothing is in flight for this address *)
+           if
+             a.dirst = "I" && a.busy = None
+             && (not (List.exists (fun (_, q) ->
+                     List.exists (fun m -> m.addr = addr) q) st.queues))
+             && List.exists (fun (_, c) -> c <> "I") caches
+           then [ Printf.sprintf "addr %d: cached under invalid directory" addr ]
+           else []
+         in
+         multi_owner @ owner_and_sharer @ orphaned @ idle_invalid)
+       st.addrs)

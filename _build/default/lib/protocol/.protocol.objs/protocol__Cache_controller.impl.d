@@ -1,0 +1,1 @@
+lib/protocol/cache_controller.ml: Ctrl_spec

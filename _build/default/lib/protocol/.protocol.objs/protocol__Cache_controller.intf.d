@@ -1,0 +1,1 @@
+lib/protocol/cache_controller.mli: Ctrl_spec Relalg

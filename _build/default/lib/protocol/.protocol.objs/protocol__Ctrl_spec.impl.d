@@ -1,0 +1,1 @@
+lib/protocol/ctrl_spec.ml: Buffer Expr Format Hashtbl List Printf Relalg Solver Table Value

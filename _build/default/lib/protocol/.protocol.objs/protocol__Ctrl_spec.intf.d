@@ -1,0 +1,1 @@
+lib/protocol/ctrl_spec.mli: Relalg

@@ -1,0 +1,1 @@
+lib/protocol/dir_controller.ml: Array Ctrl_spec List Message Printf Relalg Schema State String Table Topology Value

@@ -1,0 +1,1 @@
+lib/protocol/dir_controller.mli: Ctrl_spec Relalg

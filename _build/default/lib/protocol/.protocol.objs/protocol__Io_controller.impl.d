@@ -1,0 +1,1 @@
+lib/protocol/io_controller.ml: Ctrl_spec

@@ -1,0 +1,1 @@
+lib/protocol/io_controller.mli: Ctrl_spec Relalg

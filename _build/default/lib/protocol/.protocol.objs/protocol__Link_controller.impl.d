@@ -1,0 +1,1 @@
+lib/protocol/link_controller.ml: Ctrl_spec List Message

@@ -1,0 +1,1 @@
+lib/protocol/link_controller.mli: Ctrl_spec Relalg

@@ -1,0 +1,1 @@
+lib/protocol/mem_controller.ml: Ctrl_spec

@@ -1,0 +1,1 @@
+lib/protocol/mem_controller.mli: Ctrl_spec Relalg

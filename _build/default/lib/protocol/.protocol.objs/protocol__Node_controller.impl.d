@@ -1,0 +1,1 @@
+lib/protocol/node_controller.ml: Ctrl_spec

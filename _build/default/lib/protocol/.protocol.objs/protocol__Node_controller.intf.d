@@ -1,0 +1,1 @@
+lib/protocol/node_controller.mli: Ctrl_spec Relalg

@@ -1,0 +1,1 @@
+lib/protocol/pif_controller.ml: Ctrl_spec Message

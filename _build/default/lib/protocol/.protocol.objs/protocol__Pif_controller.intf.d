@@ -1,0 +1,1 @@
+lib/protocol/pif_controller.mli: Ctrl_spec Relalg

@@ -1,0 +1,1 @@
+lib/protocol/rac_controller.ml: Ctrl_spec

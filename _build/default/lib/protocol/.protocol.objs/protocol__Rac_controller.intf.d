@@ -1,0 +1,1 @@
+lib/protocol/rac_controller.mli: Ctrl_spec Relalg

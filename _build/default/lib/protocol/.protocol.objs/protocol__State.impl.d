@@ -1,0 +1,1 @@
+lib/protocol/state.ml: List Printf

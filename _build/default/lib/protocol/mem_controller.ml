@@ -1,0 +1,55 @@
+open Ctrl_spec
+
+let inputs =
+  [
+    "inmsg", [ "mread"; "mwrite"; "mrmw"; "mupdate" ];
+    "inmsgsrc", [ "home" ];
+    "inmsgdest", [ "home" ];
+    "inmsgres", [ "memq" ];
+    "eccst", [ "ok"; "err" ];
+  ]
+
+let outputs =
+  [
+    "outmsg", [ "mdata"; "mack"; "mnack" ];
+    "outmsgsrc", [ "home" ];
+    "outmsgdest", [ "home" ];
+    "outmsgres", [ "respq" ];
+    "memop", [ "rd"; "wr"; "rmw" ];
+  ]
+
+let scen ?outmsg label inmsg eccst memop =
+  {
+    label;
+    when_ =
+      [
+        "inmsg", V inmsg; "inmsgsrc", V "home"; "inmsgdest", V "home";
+        "inmsgres", V "memq"; "eccst", V eccst;
+      ];
+    emit =
+      (match outmsg with
+      | None -> []
+      | Some out ->
+          [
+            "outmsg", Out out; "outmsgsrc", Out "home";
+            "outmsgdest", Out "home"; "outmsgres", Out "respq";
+          ])
+      @ (match memop with None -> [] | Some op -> [ "memop", Out op ]);
+  }
+
+let scenarios =
+  [
+    scen "mread-ok" "mread" "ok" ~outmsg:"mdata" (Some "rd");
+    scen "mread-err" "mread" "err" ~outmsg:"mnack" None;
+    scen "mwrite-ok" "mwrite" "ok" ~outmsg:"mack" (Some "wr");
+    scen "mwrite-err" "mwrite" "err" ~outmsg:"mnack" None;
+    scen "mrmw-ok" "mrmw" "ok" ~outmsg:"mdata" (Some "rmw");
+    scen "mrmw-err" "mrmw" "err" ~outmsg:"mnack" None;
+    (* sharing writebacks are fire-and-forget: the busy entry that caused
+       them is already in its completion phase *)
+    scen "mupdate-ok" "mupdate" "ok" (Some "wr");
+    scen "mupdate-err" "mupdate" "err" None;
+  ]
+
+let spec = make ~name:"M" ~inputs ~outputs ~scenarios
+let table () = Ctrl_spec.table spec

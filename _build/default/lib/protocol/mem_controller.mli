@@ -1,0 +1,12 @@
+(** The home memory controller table M.
+
+    Receives directory-to-memory requests on the memory path (the paper's
+    VC4 in the debugged channel assignment) and answers on the home
+    response path (VC2): [mread] → [mdata], [mwrite] → [mack], [mrmw] →
+    [mdata].  An ECC-style error state produces [mnack], exercising D's
+    abort path.  This controller is one half of the paper's Figure 4
+    deadlock: its dependency row (mwrite in on VC4, mack out on VC2) is
+    the paper's R1. *)
+
+val spec : Ctrl_spec.t
+val table : unit -> Relalg.Table.t

@@ -1,0 +1,128 @@
+type class_ = Request | Response
+type category = Coherent | Io | Special | Mem | Impl
+
+type t = {
+  name : string;
+  class_ : class_;
+  category : category;
+  src : Topology.node_class;
+  dst : Topology.node_class;
+  description : string;
+}
+
+let m name class_ category src dst description =
+  { name; class_; category; src; dst; description }
+
+open Topology
+
+(* The inventory.  Messages named by the paper keep the paper's names
+   (readex, wb, sinv, mread, data, idone, compl, retry, dfdback); the rest
+   follow DASH-style conventions.  51 messages in total. *)
+let all =
+  [
+    (* -- requests issued by a node to the home directory (VC0) ------- *)
+    m "read" Request Coherent Local Home "read shared: cache read miss";
+    m "fetch" Request Coherent Local Home "instruction fetch (read, never dirty)";
+    m "readex" Request Coherent Local Home "read exclusive: write miss, wants M";
+    m "swap" Request Coherent Local Home "atomic read-modify-write";
+    m "upgrade" Request Coherent Local Home "S -> M ownership upgrade, no data";
+    m "wb" Request Coherent Local Home "writeback of a modified line";
+    m "flush" Request Coherent Local Home "write back and invalidate";
+    m "repl" Request Coherent Local Home "replacement hint: shared line evicted";
+    m "ioread" Request Io Local Home "uncached I/O read";
+    m "iowrite" Request Io Local Home "uncached I/O write";
+    m "iormw" Request Io Local Home "uncached I/O read-modify-write";
+    m "sync" Request Special Local Home "memory-barrier completion probe";
+    m "intr" Request Special Local Home "cross-node interrupt delivery";
+    m "lock" Request Special Local Home "acquire a synchronization lock";
+    m "unlock" Request Special Local Home "release a synchronization lock";
+    (* -- snoop requests from the directory to remote nodes (VC1) ----- *)
+    m "sinv" Request Special Home Remote "invalidate the cached copy";
+    m "sread" Request Special Home Remote "fetch data from the M owner, downgrade to S";
+    m "sflush" Request Special Home Remote "fetch data from the M owner and invalidate";
+    m "sdown" Request Special Home Remote "downgrade E/M to S without data transfer";
+    m "sioread" Request Io Home Remote "forward an I/O read to the owning device node";
+    m "siowrite" Request Io Home Remote "forward an I/O write to the owning device node";
+    (* -- snoop responses from remote nodes to the directory (VC2) ---- *)
+    m "idone" Response Special Remote Home "invalidation done";
+    m "sdata" Response Coherent Remote Home "snoop data from the previous owner";
+    m "sack" Response Special Remote Home "snoop acknowledged, no data movement";
+    m "snack" Response Special Remote Home "snoop missed: line no longer cached";
+    m "swbdata" Response Coherent Remote Home "snoop data, owner also wrote back";
+    (* -- responses from the directory to the requesting node (VC3) --- *)
+    m "data" Response Coherent Home Local "data response, shared";
+    m "datax" Response Coherent Home Local "data response, exclusive ownership";
+    m "compl" Response Special Home Local "transaction complete";
+    m "retry" Response Special Home Local "busy: reissue the request later";
+    m "nack" Response Special Home Local "negative acknowledge";
+    m "iodata" Response Io Home Local "I/O read data";
+    m "iocompl" Response Io Home Local "I/O write complete";
+    m "intack" Response Special Home Local "interrupt accepted";
+    m "lockgrant" Response Special Home Local "lock acquired";
+    m "racfill" Response Coherent Home Local "remote-access-cache line fill";
+    (* -- directory-to-memory path inside the home quad (VC4) --------- *)
+    m "mread" Request Mem Home Home "read a line from home memory";
+    m "mwrite" Request Mem Home Home "write a line back to home memory";
+    m "mrmw" Request Mem Home Home "atomic read-modify-write at memory";
+    m "mupdate" Request Mem Home Home
+      "sharing writeback: dirty snoop data copied back to memory, unacknowledged";
+    m "mioread" Request Mem Home Home "I/O-space read at the home device";
+    m "miowrite" Request Mem Home Home "I/O-space write at the home device";
+    (* -- memory-to-directory responses (VC2 at home) ----------------- *)
+    m "mdata" Response Mem Home Home "memory read data";
+    m "mack" Response Mem Home Home "memory write acknowledged";
+    m "mnack" Response Mem Home Home "memory operation refused (e.g. ECC error)";
+    (* -- node-internal cache interface (within the local node) ------- *)
+    m "cinvreq" Request Special Local Local "node controller asks its cache to invalidate";
+    m "cinvack" Response Special Local Local "cache invalidation acknowledged";
+    m "cwbreq" Request Special Local Local "node controller asks its cache for dirty data";
+    m "cwbdata" Response Special Local Local "dirty data from the local cache";
+    m "cfill" Response Special Local Local "line fill delivered to the local cache";
+    (* -- remote-access-cache maintenance ------------------------------ *)
+    m "racevict" Request Coherent Local Home "RAC capacity eviction of a shared line";
+    (* -- implementation-defined (section 5) --------------------------- *)
+    m "dfdback" Request Impl Home Home
+      "feedback request: response reinjected into the request controller \
+       when the directory update queue is full";
+  ]
+
+let by_name = Hashtbl.create 64
+let () = List.iter (fun msg -> Hashtbl.replace by_name msg.name msg) all
+let find name = Hashtbl.find_opt by_name name
+
+let find_exn name =
+  match find name with Some msg -> msg | None -> raise Not_found
+
+let names msgs = List.map (fun msg -> msg.name) msgs
+
+let is_request name =
+  match find name with Some msg -> msg.class_ = Request | None -> false
+
+let is_response name =
+  match find name with Some msg -> msg.class_ = Response | None -> false
+
+let select p = names (List.filter p all)
+
+let local_requests =
+  select (fun msg ->
+      msg.class_ = Request && msg.src = Local && msg.dst = Home)
+
+let snoop_requests =
+  select (fun msg ->
+      msg.class_ = Request && msg.src = Home && msg.dst = Remote)
+
+let snoop_responses =
+  select (fun msg ->
+      msg.class_ = Response && msg.src = Remote && msg.dst = Home)
+
+let local_responses =
+  select (fun msg ->
+      msg.class_ = Response && msg.src = Home && msg.dst = Local)
+
+let memory_requests = select (fun msg -> msg.category = Mem && msg.class_ = Request)
+let memory_responses = select (fun msg -> msg.category = Mem && msg.class_ = Response)
+
+let register db =
+  let lift p = function Relalg.Value.Str s -> p s | _ -> false in
+  let db = Relalg.Database.register_function db "isrequest" (lift is_request) in
+  Relalg.Database.register_function db "isresponse" (lift is_response)

@@ -1,0 +1,68 @@
+(** The protocol message inventory (Figure 1 of the paper).
+
+    The paper's protocol uses "around 50 different types of messages",
+    classified as requests and responses, exchanged among the directory,
+    memory, node, cache and remote-access-cache controllers.  The paper
+    names only a subset (readex, wb, sinv, mread, data, idone, compl,
+    retry, Dfdback, …); the remainder is reconstructed here as a standard
+    DASH-style directory protocol inventory and documented per message.
+
+    Each message has a canonical (source-role, destination-role) pair used
+    by the default virtual-channel assignment of section 4.2:
+    - requests local → home on VC0,
+    - snoop requests home → remote on VC1,
+    - snoop and memory responses → home on VC2,
+    - responses home → local on VC3,
+    - memory-path requests home → home (directory to memory) on VC4. *)
+
+type class_ = Request | Response
+
+type category =
+  | Coherent  (** cacheable memory transactions *)
+  | Io  (** uncached I/O transactions *)
+  | Special  (** state-communication messages (snoops, acks, retry) *)
+  | Mem  (** directory-to-memory path inside the home quad *)
+  | Impl  (** implementation-defined (section 5): [dfdback] *)
+
+type t = {
+  name : string;
+  class_ : class_;
+  category : category;
+  src : Topology.node_class;  (** canonical sender role *)
+  dst : Topology.node_class;  (** canonical receiver role *)
+  description : string;
+}
+
+val all : t list
+(** The full inventory, ~50 messages. *)
+
+val find : string -> t option
+val find_exn : string -> t
+(** @raise Not_found. *)
+
+val names : t list -> string list
+val is_request : string -> bool
+(** The paper's [isrequest(...)] SQL function; false for unknown names. *)
+
+val is_response : string -> bool
+
+val local_requests : string list
+(** Requests a node issues to its home directory (arrive on VC0). *)
+
+val snoop_requests : string list
+(** Requests the directory issues to remote nodes (VC1). *)
+
+val snoop_responses : string list
+(** Responses remote nodes send back to the directory (VC2). *)
+
+val local_responses : string list
+(** Responses the directory sends to the requesting node (VC3). *)
+
+val memory_requests : string list
+(** Directory-to-memory requests (VC4 / dedicated path). *)
+
+val memory_responses : string list
+(** Memory-to-directory responses (VC2). *)
+
+val register : Relalg.Database.t -> Relalg.Database.t
+(** Register [isrequest] and [isresponse] as SQL boolean functions. *)

@@ -1,0 +1,68 @@
+type node_class = Local | Home | Remote
+
+let node_class_to_string = function
+  | Local -> "local"
+  | Home -> "home"
+  | Remote -> "remote"
+
+let node_class_of_string = function
+  | "local" -> Some Local
+  | "home" -> Some Home
+  | "remote" -> Some Remote
+  | _ -> None
+
+let all_node_classes = [ Local; Home; Remote ]
+
+type placement = All_same | Lh_same | Hr_same | Lr_same | All_distinct
+
+let all_placements = [ All_distinct; All_same; Lh_same; Hr_same; Lr_same ]
+
+let placement_to_string = function
+  | All_same -> "L=H=R"
+  | Lh_same -> "L=H<>R"
+  | Hr_same -> "L<>H=R"
+  | Lr_same -> "L=R<>H"
+  | All_distinct -> "L<>H<>R"
+
+let same_quad p a b =
+  a = b
+  ||
+  match p with
+  | All_same -> true
+  | All_distinct -> false
+  | Lh_same -> (a = Local && b = Home) || (a = Home && b = Local)
+  | Hr_same -> (a = Home && b = Remote) || (a = Remote && b = Home)
+  | Lr_same -> (a = Local && b = Remote) || (a = Remote && b = Local)
+
+let rank = function Local -> 0 | Home -> 1 | Remote -> 2
+
+let canon p a =
+  let candidates = List.filter (same_quad p a) all_node_classes in
+  List.fold_left
+    (fun best c -> if rank c < rank best then c else best)
+    a candidates
+
+let canon_string p s =
+  match node_class_of_string s with
+  | Some c -> node_class_to_string (canon p c)
+  | None -> s
+
+type system = { quads : int; nodes_per_quad : int }
+
+let default_system = { quads = 4; nodes_per_quad = 4 }
+let node_count sys = sys.quads * sys.nodes_per_quad
+
+let quad_of_node sys n =
+  if n < 0 || n >= node_count sys then
+    invalid_arg (Printf.sprintf "Topology.quad_of_node: node %d" n);
+  n / sys.nodes_per_quad
+
+let placement_of sys ~local ~home ~remote =
+  let ql = quad_of_node sys local
+  and qh = quad_of_node sys home
+  and qr = quad_of_node sys remote in
+  if ql = qh && qh = qr then All_same
+  else if ql = qh then Lh_same
+  else if qh = qr then Hr_same
+  else if ql = qr then Lr_same
+  else All_distinct

@@ -1,0 +1,63 @@
+(** System topology: node roles and quad-placement relations.
+
+    ASURA is a group of up to 4 quads, 4 nodes per quad, 2–4 processors
+    per node, with one protocol engine (directory) per quad.  For static
+    analysis only three {e roles} matter (section 2.1): the [Local] node
+    that initiates a transaction, the [Home] node owning the memory and
+    directory for the line, and [Remote] nodes that may cache it.
+
+    Virtual channels are physical-channel partitions {e between quads}, so
+    two roles placed in the same quad share channels.  The five possible
+    quad placements of (L, H, R) — section 4.1 — drive the relaxed
+    dependency composition. *)
+
+type node_class = Local | Home | Remote
+
+val node_class_to_string : node_class -> string
+(** ["local"], ["home"], ["remote"] — the encodings stored in tables. *)
+
+val node_class_of_string : string -> node_class option
+val all_node_classes : node_class list
+
+(** A placement is a partition of [{L, H, R}] into quads. *)
+type placement =
+  | All_same  (** L=H=R *)
+  | Lh_same  (** L=H, R apart *)
+  | Hr_same  (** H=R, L apart *)
+  | Lr_same  (** L=R, H apart *)
+  | All_distinct  (** L, H, R pairwise distinct quads *)
+
+val all_placements : placement list
+(** All five, with [All_distinct] first (the exact-match base case). *)
+
+val placement_to_string : placement -> string
+(** Paper notation, e.g. ["L<>H=R"] for {!Hr_same}. *)
+
+val same_quad : placement -> node_class -> node_class -> bool
+
+val canon : placement -> node_class -> node_class
+(** Representative of a role's quad-equivalence class, choosing the
+    smallest of [Local < Home < Remote] in the class.  Two roles share a
+    quad iff their canons coincide; rewriting dependency rows through
+    [canon] implements the paper's "modify R2 to R2'" step. *)
+
+val canon_string : placement -> string -> string
+(** {!canon} lifted to table encodings; non-role strings pass through. *)
+
+(** {1 Concrete system instances} (used by the simulator and the
+    model-checker baseline) *)
+
+type system = {
+  quads : int;  (** 1–4 *)
+  nodes_per_quad : int;  (** up to 4 *)
+}
+
+val default_system : system
+(** 4 quads × 4 nodes — the full ASURA configuration. *)
+
+val node_count : system -> int
+val quad_of_node : system -> int -> int
+(** @raise Invalid_argument on an out-of-range node id. *)
+
+val placement_of : system -> local:int -> home:int -> remote:int -> placement
+(** Classify a concrete (local, home, remote) node triple. *)

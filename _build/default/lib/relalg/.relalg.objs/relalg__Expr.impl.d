@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Array Format Hashtbl List Schema String Value

@@ -1,0 +1,1 @@
+lib/relalg/index.ml: Array Hashtbl List Option Row Schema Table Value

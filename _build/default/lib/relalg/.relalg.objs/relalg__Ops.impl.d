@@ -1,0 +1,1 @@
+lib/relalg/ops.ml: Array Expr List Option Printf Row Schema Table

@@ -1,0 +1,1 @@
+lib/relalg/physical.ml: Array Buffer Database Expr Format Hashtbl Index List Ops Plan Printf Schema Sql_parser String Table Value

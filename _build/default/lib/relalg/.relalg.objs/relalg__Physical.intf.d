@@ -1,0 +1,1 @@
+lib/relalg/physical.mli: Database Expr Plan Table Value

@@ -1,0 +1,1 @@
+lib/relalg/plan.ml: Array Buffer Database Expr Format List Ops Printf Schema Sql_ast Sql_parser String Table Value

@@ -1,0 +1,1 @@
+lib/relalg/plan.mli: Database Expr Sql_ast Table

@@ -1,0 +1,1 @@
+lib/relalg/profile.ml: Array Buffer Hashtbl List Option Printf Schema Table Value

@@ -1,0 +1,1 @@
+lib/relalg/profile.mli: Table Value

@@ -1,0 +1,1 @@
+lib/relalg/row.ml: Array Format Hashtbl List Set String Value

@@ -1,0 +1,1 @@
+lib/relalg/solver.ml: Array Expr Hashtbl List Printf Schema Table Value

@@ -1,0 +1,1 @@
+lib/relalg/solver.mli: Expr Table Value

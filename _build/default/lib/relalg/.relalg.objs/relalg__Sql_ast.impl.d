@@ -1,0 +1,1 @@
+lib/relalg/sql_ast.ml: Expr Format List String Value

@@ -1,0 +1,1 @@
+lib/relalg/sql_ast.mli: Expr Format Value

@@ -1,0 +1,1 @@
+lib/relalg/sql_exec.ml: Array Database List Ops Printf Row Schema Sql_ast Sql_parser Table Value

@@ -1,0 +1,1 @@
+lib/relalg/sql_exec.mli: Database Sql_ast Table

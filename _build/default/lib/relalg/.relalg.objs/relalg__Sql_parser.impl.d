@@ -1,0 +1,1 @@
+lib/relalg/sql_parser.ml: Array Expr Format List Printf Sql_ast Sql_lexer String Value

@@ -1,0 +1,1 @@
+lib/relalg/table.ml: Array Buffer Format List Row Schema String Value

@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Bool Format Hashtbl Int String

@@ -1,0 +1,128 @@
+exception Csv_error of { line : int; message : string }
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let render_cell = function
+  | Value.Null -> "NULL"
+  | Value.Int i -> string_of_int i
+  | Value.Bool b -> string_of_bool b
+  | Value.Str s ->
+      if needs_quoting s || s = "NULL" || s = "" then
+        "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+      else s
+
+let parse_cell s =
+  match s with
+  | "" | "NULL" -> Value.Null
+  | "true" -> Value.Bool true
+  | "false" -> Value.Bool false
+  | _ -> (
+      match int_of_string_opt s with
+      | Some i -> Value.Int i
+      | None -> Value.Str s)
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let emit_line cells =
+    Buffer.add_string buf (String.concat "," cells);
+    Buffer.add_char buf '\n'
+  in
+  emit_line (Schema.columns (Table.schema t));
+  Table.iter
+    (fun row -> emit_line (List.map render_cell (Row.to_list row)))
+    t;
+  Buffer.contents buf
+
+(* RFC-4180-style splitting: returns the records of the document, each a
+   list of raw cell strings (quotes resolved). *)
+let records src =
+  let n = String.length src in
+  let cell = Buffer.create 16 in
+  let row = ref [] in
+  let rows = ref [] in
+  let line = ref 1 in
+  let quoted_cell = ref false in
+  let flush_cell () =
+    let raw = Buffer.contents cell in
+    Buffer.clear cell;
+    let value = if !quoted_cell then Value.Str raw else parse_cell raw in
+    quoted_cell := false;
+    row := value :: !row
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec plain i =
+    if i >= n then (if !row <> [] || Buffer.length cell > 0 then flush_row ())
+    else
+      match src.[i] with
+      | ',' -> flush_cell (); plain (i + 1)
+      | '\n' -> incr line; flush_row (); plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length cell = 0 ->
+          quoted_cell := true;
+          quoted (i + 1)
+      | c -> Buffer.add_char cell c; plain (i + 1)
+  and quoted i =
+    if i >= n then raise (Csv_error { line = !line; message = "unterminated quote" })
+    else
+      match src.[i] with
+      | '"' when i + 1 < n && src.[i + 1] = '"' ->
+          Buffer.add_char cell '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | '\n' ->
+          incr line;
+          Buffer.add_char cell '\n';
+          quoted (i + 1)
+      | c -> Buffer.add_char cell c; quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let of_string ~name src =
+  match records src with
+  | [] -> raise (Csv_error { line = 1; message = "empty document" })
+  | header :: rest ->
+      let columns =
+        List.map
+          (function
+            | Value.Str s -> s
+            | v -> Value.to_string v)
+          header
+      in
+      let schema = Schema.of_list columns in
+      let arity = Schema.arity schema in
+      let rows =
+        List.mapi
+          (fun i cells ->
+            if List.length cells <> arity then
+              raise
+                (Csv_error
+                   {
+                     line = i + 2;
+                     message =
+                       Printf.sprintf "expected %d cells, got %d" arity
+                         (List.length cells);
+                   });
+            Row.of_list cells)
+          rest
+      in
+      Table.of_rows ~name schema rows
+
+let save ~filename t =
+  let oc = open_out filename in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load ~name ~filename =
+  let ic = open_in filename in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string ~name (really_input_string ic len))

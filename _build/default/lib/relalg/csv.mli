@@ -1,0 +1,21 @@
+(** CSV import/export of tables — the interchange format for the "SQL
+    report generation" step and for loading channel assignments or
+    externally-edited controller tables back into the database.
+
+    Cells are rendered with {!Value.to_sql}-style typing rules on input:
+    an empty cell or the literal [NULL] reads back as [Null], an integer
+    literal as [Int], [true]/[false] as [Bool], anything else as [Str].
+    Cells containing commas, quotes or newlines are double-quoted with
+    [""] escaping, per RFC 4180. *)
+
+exception Csv_error of { line : int; message : string }
+
+val to_string : Table.t -> string
+(** Header line (the schema) followed by one line per row. *)
+
+val of_string : name:string -> string -> Table.t
+(** Parse a CSV document; the first line is the schema.
+    @raise Csv_error on ragged rows or unterminated quotes. *)
+
+val save : filename:string -> Table.t -> unit
+val load : name:string -> filename:string -> Table.t

@@ -1,0 +1,36 @@
+type t = {
+  tables : (string * Table.t) list;  (* registration order *)
+  funcs : (string * (Value.t -> bool)) list;
+}
+
+exception Unknown_table of string
+exception Duplicate_table of string
+
+let empty = { tables = []; funcs = [] }
+
+let add db table =
+  let n = Table.name table in
+  if List.mem_assoc n db.tables then raise (Duplicate_table n);
+  { db with tables = db.tables @ [ n, table ] }
+
+let replace db table =
+  let n = Table.name table in
+  if List.mem_assoc n db.tables then
+    { db with tables = List.map (fun (k, t) -> if k = n then k, table else k, t) db.tables }
+  else add db table
+
+let remove db n = { db with tables = List.remove_assoc n db.tables }
+
+let find db n =
+  match List.assoc_opt n db.tables with
+  | Some t -> t
+  | None -> raise (Unknown_table n)
+
+let find_opt db n = List.assoc_opt n db.tables
+let mem db n = List.mem_assoc n db.tables
+let tables db = List.map snd db.tables
+let table_names db = List.map fst db.tables
+
+let register_function db name f = { db with funcs = (name, f) :: db.funcs }
+let functions db name = List.assoc_opt name db.funcs
+let of_tables ts = List.fold_left add empty ts

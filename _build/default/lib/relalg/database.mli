@@ -1,0 +1,38 @@
+(** The central database: a catalog of named tables plus registered boolean
+    functions usable in WHERE clauses (e.g. [isrequest(inmsg)], section 4.3
+    of the paper).
+
+    A database value is immutable; [add]/[register_function] return updated
+    catalogs. *)
+
+type t
+
+exception Unknown_table of string
+exception Duplicate_table of string
+
+val empty : t
+val add : t -> Table.t -> t
+(** Register a table under its own name. @raise Duplicate_table. *)
+
+val replace : t -> Table.t -> t
+(** Like {!add} but overwrites an existing binding. *)
+
+val remove : t -> string -> t
+val find : t -> string -> Table.t
+(** @raise Unknown_table. *)
+
+val find_opt : t -> string -> Table.t option
+val mem : t -> string -> bool
+val tables : t -> Table.t list
+(** All tables, in registration order. *)
+
+val table_names : t -> string list
+
+val register_function : t -> string -> (Value.t -> bool) -> t
+(** Make a boolean function available to SQL WHERE clauses and
+    {!Expr.eval}. *)
+
+val functions : t -> Expr.funcs
+(** Function resolver for this database. *)
+
+val of_tables : Table.t list -> t

@@ -1,0 +1,156 @@
+type operand = Col of string | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Eq of operand * operand
+  | Neq of operand * operand
+  | In of operand * Value.t list
+  | Fn of string * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Ternary of t * t * t
+
+type funcs = string -> (Value.t -> bool) option
+
+exception Unknown_function of string
+
+let no_funcs _ = None
+let col c = Col c
+let s x = Const (Value.Str x)
+let eq c v = Eq (Col c, Const (Value.Str v))
+let eq_null c = Eq (Col c, Const Value.Null)
+let neq c v = Neq (Col c, Const (Value.Str v))
+let isin c vs = In (Col c, List.map Value.str vs)
+
+let conj = function
+  | [] -> True
+  | e :: es -> List.fold_left (fun acc x -> And (acc, x)) e es
+
+let disj = function
+  | [] -> False
+  | e :: es -> List.fold_left (fun acc x -> Or (acc, x)) e es
+
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ternary c a b = Ternary (c, a, b)
+
+let free_columns e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let add = function
+    | Col c ->
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.add seen c ();
+          acc := c :: !acc
+        end
+    | Const _ -> ()
+  in
+  let rec go = function
+    | True | False -> ()
+    | Eq (a, b) | Neq (a, b) -> add a; add b
+    | In (a, _) | Fn (_, a) -> add a
+    | And (a, b) | Or (a, b) -> go a; go b
+    | Not a -> go a
+    | Ternary (c, a, b) -> go c; go a; go b
+  in
+  go e;
+  List.rev !acc
+
+let eval ?(funcs = no_funcs) schema row e =
+  let operand = function
+    | Col c -> row.(Schema.index schema c)
+    | Const v -> v
+  in
+  let rec go = function
+    | True -> true
+    | False -> false
+    | Eq (a, b) -> Value.equal (operand a) (operand b)
+    | Neq (a, b) -> not (Value.equal (operand a) (operand b))
+    | In (a, vs) ->
+        let v = operand a in
+        List.exists (Value.equal v) vs
+    | Fn (f, a) -> (
+        match funcs f with
+        | Some p -> p (operand a)
+        | None -> raise (Unknown_function f))
+    | And (a, b) -> go a && go b
+    | Or (a, b) -> go a || go b
+    | Not a -> not (go a)
+    | Ternary (c, a, b) -> if go c then go a else go b
+  in
+  go e
+
+let compile ?(funcs = no_funcs) schema e =
+  let operand = function
+    | Col c ->
+        let i = Schema.index schema c in
+        fun row -> row.(i)
+    | Const v -> fun _ -> v
+  in
+  let rec go = function
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Eq (a, b) ->
+        let fa = operand a and fb = operand b in
+        fun row -> Value.equal (fa row) (fb row)
+    | Neq (a, b) ->
+        let fa = operand a and fb = operand b in
+        fun row -> not (Value.equal (fa row) (fb row))
+    | In (a, vs) ->
+        let fa = operand a in
+        fun row ->
+          let v = fa row in
+          List.exists (Value.equal v) vs
+    | Fn (f, a) -> (
+        match funcs f with
+        | Some p ->
+            let fa = operand a in
+            fun row -> p (fa row)
+        | None -> raise (Unknown_function f))
+    | And (a, b) ->
+        let fa = go a and fb = go b in
+        fun row -> fa row && fb row
+    | Or (a, b) ->
+        let fa = go a and fb = go b in
+        fun row -> fa row || fb row
+    | Not a ->
+        let fa = go a in
+        fun row -> not (fa row)
+    | Ternary (c, a, b) ->
+        let fc = go c and fa = go a and fb = go b in
+        fun row -> if fc row then fa row else fb row
+  in
+  go e
+
+let pp_operand fmt = function
+  | Col c -> Format.pp_print_string fmt c
+  | Const v -> Format.pp_print_string fmt (Value.to_sql v)
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Eq (a, b) -> Format.fprintf fmt "%a = %a" pp_operand a pp_operand b
+  | Neq (a, b) -> Format.fprintf fmt "%a <> %a" pp_operand a pp_operand b
+  | In (a, vs) ->
+      Format.fprintf fmt "%a in (%s)" pp_operand a
+        (String.concat ", " (List.map Value.to_sql vs))
+  | Fn (f, a) -> Format.fprintf fmt "%s(%a)" f pp_operand a
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "not %a" pp a
+  | Ternary (c, a, b) -> Format.fprintf fmt "(%a ? %a : %a)" pp c pp a pp b
+
+let to_sql e =
+  (* Ternaries have no SQL surface syntax; expand before rendering. *)
+  let rec expand = function
+    | (True | False | Eq _ | Neq _ | In _ | Fn _) as atom -> atom
+    | And (a, b) -> And (expand a, expand b)
+    | Or (a, b) -> Or (expand a, expand b)
+    | Not a -> Not (expand a)
+    | Ternary (c, a, b) ->
+        let c = expand c in
+        Or (And (c, expand a), And (Not c, expand b))
+  in
+  Format.asprintf "%a" pp (expand e)

@@ -1,0 +1,41 @@
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  table_name : string;
+  column : string;
+  buckets : Row.t list Vtbl.t;  (* rows in reverse table order *)
+  size : int;
+}
+
+let build tbl column =
+  let idx = Schema.index (Table.schema tbl) column in
+  let buckets = Vtbl.create 64 in
+  Table.iter
+    (fun row ->
+      let key = row.(idx) in
+      let existing = Option.value (Vtbl.find_opt buckets key) ~default:[] in
+      Vtbl.replace buckets key (row :: existing))
+    tbl;
+  { table_name = Table.name tbl; column; buckets; size = Table.cardinality tbl }
+
+let table_name t = t.table_name
+let column t = t.column
+
+let lookup t v =
+  List.rev (Option.value (Vtbl.find_opt t.buckets v) ~default:[])
+
+let distinct_keys t = Vtbl.length t.buckets
+
+let consistent t tbl =
+  Table.cardinality tbl = t.size
+  && Vtbl.fold (fun _ rows acc -> acc + List.length rows) t.buckets 0 = t.size
+  &&
+  let idx = Schema.index (Table.schema tbl) t.column in
+  Table.fold
+    (fun ok row -> ok && List.exists (Row.equal row) (lookup t row.(idx)))
+    true tbl

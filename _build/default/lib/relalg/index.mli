@@ -1,0 +1,24 @@
+(** Hash indexes over a single column.
+
+    The workhorse access path behind the physical planner
+    ({!Physical}): an equality predicate on an indexed column becomes a
+    hash lookup instead of a scan.  Indexes are explicit immutable values
+    built from a table snapshot — rebuilding after table updates is the
+    caller's concern (the methodology's tables are generate-once). *)
+
+type t
+
+val build : Table.t -> string -> t
+(** Index the given column. @raise Schema.Unknown_column. *)
+
+val table_name : t -> string
+val column : t -> string
+
+val lookup : t -> Value.t -> Row.t list
+(** All rows whose indexed cell equals the value, in table order. *)
+
+val distinct_keys : t -> int
+
+val consistent : t -> Table.t -> bool
+(** Every row of the table is reachable through the index and vice versa
+    (used by the property tests). *)

@@ -1,0 +1,124 @@
+exception Schema_clash of string
+exception Incompatible_schemas of string
+
+let select ?funcs pred t =
+  let check = Expr.compile ?funcs (Table.schema t) pred in
+  Table.filter check t
+
+let project cols t =
+  let schema = Table.schema t in
+  let idxs = Array.of_list (List.map (Schema.index schema) cols) in
+  let sub row = Array.map (fun i -> row.(i)) idxs in
+  Table.of_rows ~name:(Table.name t) (Schema.project schema cols)
+    (List.map sub (Table.rows t))
+
+let rename mapping t =
+  Table.of_rows ~name:(Table.name t)
+    (Schema.rename (Table.schema t) mapping)
+    (Table.rows t)
+
+let check_disjoint sa sb =
+  List.iter
+    (fun c -> if Schema.mem sa c then raise (Schema_clash c))
+    (Schema.columns sb)
+
+let cross ta tb =
+  let sa = Table.schema ta and sb = Table.schema tb in
+  check_disjoint sa sb;
+  let schema = Schema.append sa (Schema.columns sb) in
+  let rows =
+    List.concat_map
+      (fun ra -> List.map (fun rb -> Array.append ra rb) (Table.rows tb))
+      (Table.rows ta)
+  in
+  Table.of_rows ~name:(Table.name ta ^ "*" ^ Table.name tb) schema rows
+
+let cross_many ~name = function
+  | [] -> invalid_arg "Ops.cross_many: empty list"
+  | t :: ts -> Table.with_name name (List.fold_left cross t ts)
+
+let prefix_columns prefix t =
+  let mapping =
+    List.map (fun c -> c, prefix ^ c) (Schema.columns (Table.schema t))
+  in
+  rename mapping t
+
+let require_compatible op ta tb =
+  if not (Schema.union_compatible (Table.schema ta) (Table.schema tb)) then
+    raise
+      (Incompatible_schemas
+         (Printf.sprintf "%s: %s vs %s" op (Table.name ta) (Table.name tb)))
+
+let union ta tb =
+  require_compatible "union" ta tb;
+  Table.distinct (Table.add_all ta (Table.rows tb))
+
+let union_many ~name schema = function
+  | [] -> Table.create ~name schema
+  | t :: ts -> Table.with_name name (List.fold_left union t ts)
+
+let except ta tb =
+  require_compatible "except" ta tb;
+  let drop = Row.Tbl.create 64 in
+  List.iter (fun r -> Row.Tbl.replace drop r ()) (Table.rows tb);
+  Table.distinct (Table.filter (fun r -> not (Row.Tbl.mem drop r)) ta)
+
+let intersect ta tb =
+  require_compatible "intersect" ta tb;
+  let keep = Row.Tbl.create 64 in
+  List.iter (fun r -> Row.Tbl.replace keep r ()) (Table.rows tb);
+  Table.distinct (Table.filter (Row.Tbl.mem keep) ta)
+
+let equi_join ~on ta tb =
+  let sa = Table.schema ta and sb = Table.schema tb in
+  let a_keys = List.map (fun (a, _) -> Schema.index sa a) on in
+  let b_keys = List.map (fun (_, b) -> Schema.index sb b) on in
+  let b_key_cols = List.map snd on in
+  let kept_b =
+    List.filter (fun c -> not (List.mem c b_key_cols)) (Schema.columns sb)
+  in
+  List.iter (fun c -> if Schema.mem sa c then raise (Schema_clash c)) kept_b;
+  let kept_b_idx = Array.of_list (List.map (Schema.index sb) kept_b) in
+  let key_of row idxs = Row.of_list (List.map (fun i -> row.(i)) idxs) in
+  (* Hash join: index tb rows by key, then probe with ta rows. *)
+  let index = Row.Tbl.create (Table.cardinality tb) in
+  List.iter
+    (fun rb ->
+      let k = key_of rb b_keys in
+      let existing = Option.value (Row.Tbl.find_opt index k) ~default:[] in
+      Row.Tbl.replace index k (rb :: existing))
+    (Table.rows tb);
+  let rows =
+    List.concat_map
+      (fun ra ->
+        match Row.Tbl.find_opt index (key_of ra a_keys) with
+        | None -> []
+        | Some matches ->
+            List.rev_map
+              (fun rb ->
+                Array.append ra (Array.map (fun i -> rb.(i)) kept_b_idx))
+              matches)
+      (Table.rows ta)
+  in
+  Table.of_rows
+    ~name:(Table.name ta ^ "|x|" ^ Table.name tb)
+    (Schema.append sa kept_b) rows
+
+let add_column ~name f t =
+  let schema = Schema.append (Table.schema t) [ name ] in
+  Table.of_rows ~name:(Table.name t) schema
+    (List.map (fun row -> Array.append row [| f row |]) (Table.rows t))
+
+let group_count ~by t =
+  let projected = project by t in
+  let counts = Row.Tbl.create 64 in
+  let order = ref [] in
+  Table.iter
+    (fun row ->
+      match Row.Tbl.find_opt counts row with
+      | Some n -> Row.Tbl.replace counts row (n + 1)
+      | None ->
+          Row.Tbl.add counts row 1;
+          order := row :: !order)
+    projected;
+  List.rev_map (fun row -> row, Row.Tbl.find counts row) !order

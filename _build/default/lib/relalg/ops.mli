@@ -1,0 +1,54 @@
+(** Relational-algebra operators over {!Table.t}.
+
+    These are the operations the paper performs through SQL: selection by a
+    boolean constraint, projection, renaming, cross product (table
+    generation), union (assembling dependency tables), difference, and
+    joins (pairwise composition).  Set-producing operators ([union],
+    [except], [intersect]) return duplicate-free tables; [select]/[project]
+    preserve multiplicity like their SQL counterparts. *)
+
+exception Schema_clash of string
+(** Raised by {!cross} when operand schemas share a column name. *)
+
+exception Incompatible_schemas of string
+
+val select : ?funcs:Expr.funcs -> Expr.t -> Table.t -> Table.t
+(** Keep rows satisfying the predicate. *)
+
+val project : string list -> Table.t -> Table.t
+(** Keep (and reorder to) the named columns; duplicates are retained — pair
+    with {!Table.distinct} for SQL's [SELECT DISTINCT]. *)
+
+val rename : (string * string) list -> Table.t -> Table.t
+
+val cross : Table.t -> Table.t -> Table.t
+(** Cartesian product. @raise Schema_clash on shared column names. *)
+
+val cross_many : name:string -> Table.t list -> Table.t
+(** Left-to-right product of several tables (used to build the candidate
+    space of a controller table from its column tables). *)
+
+val prefix_columns : string -> Table.t -> Table.t
+(** [prefix_columns "t1." t] renames every column [c] to ["t1." ^ c]. *)
+
+val union : Table.t -> Table.t -> Table.t
+(** Set union. @raise Incompatible_schemas unless union-compatible. *)
+
+val union_many : name:string -> Schema.t -> Table.t list -> Table.t
+
+val except : Table.t -> Table.t -> Table.t
+val intersect : Table.t -> Table.t -> Table.t
+
+val equi_join : on:(string * string) list -> Table.t -> Table.t -> Table.t
+(** [equi_join ~on:[(a1, b1); ...] ta tb]: rows of the product where each
+    [ta.ai = tb.bi]; the result keeps all columns of [ta] and the columns of
+    [tb] that are not join keys.  @raise Schema_clash if a kept [tb] column
+    collides with a [ta] column. *)
+
+val add_column :
+  name:string -> (Row.t -> Value.t) -> Table.t -> Table.t
+(** Extend every row with a computed column appended on the right. *)
+
+val group_count : by:string list -> Table.t -> (Row.t * int) list
+(** Multiplicity of each distinct projection onto [by] (used for table
+    statistics reported in the benches). *)

@@ -1,0 +1,151 @@
+type access =
+  | Seq_scan of string
+  | Index_lookup of {
+      table : string;
+      column : string;
+      value : Value.t;
+      residual : Expr.t option;
+    }
+
+type t =
+  | Access of access
+  | Select of Expr.t * t
+  | Project of string list * t
+  | Distinct of t
+  | Union of t * t
+  | Except of t * t
+  | Intersect of t * t
+  | Count of t
+  | Group_count of string list * t
+  | Empty of string list
+
+type store = {
+  db : Database.t;
+  cache : (string * string, Index.t) Hashtbl.t;
+}
+
+let make_store db = { db; cache = Hashtbl.create 16 }
+
+let index_of store table column =
+  match Hashtbl.find_opt store.cache (table, column) with
+  | Some i -> i
+  | None ->
+      let i = Index.build (Database.find store.db table) column in
+      Hashtbl.add store.cache (table, column) i;
+      i
+
+let indexed_columns indexes table =
+  List.filter_map (fun (t, c) -> if t = table then Some c else None) indexes
+
+(* Split a predicate into its top-level conjuncts. *)
+let rec conjuncts = function
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function [] -> None | es -> Some (Expr.conj es)
+
+(* Find the first [col = literal] conjunct on an indexed column. *)
+let split_indexable indexed pred =
+  let rec go seen = function
+    | [] -> None
+    | Expr.Eq (Expr.Col c, Expr.Const v) :: rest when List.mem c indexed ->
+        Some (c, v, List.rev_append seen rest)
+    | Expr.Eq (Expr.Const v, Expr.Col c) :: rest when List.mem c indexed ->
+        Some (c, v, List.rev_append seen rest)
+    | e :: rest -> go (e :: seen) rest
+  in
+  go [] (conjuncts pred)
+
+let rec physicalize ~indexes (p : Plan.t) : t =
+  match p with
+  | Plan.Scan name -> Access (Seq_scan name)
+  | Plan.Select (pred, Plan.Scan name) -> (
+      match split_indexable (indexed_columns indexes name) pred with
+      | Some (column, value, residual) ->
+          Access
+            (Index_lookup
+               { table = name; column; value; residual = conjoin residual })
+      | None -> Select (pred, Access (Seq_scan name)))
+  | Plan.Select (pred, inner) -> Select (pred, physicalize ~indexes inner)
+  | Plan.Project (cols, inner) -> Project (cols, physicalize ~indexes inner)
+  | Plan.Distinct inner -> Distinct (physicalize ~indexes inner)
+  | Plan.Union (a, b) -> Union (physicalize ~indexes a, physicalize ~indexes b)
+  | Plan.Except (a, b) -> Except (physicalize ~indexes a, physicalize ~indexes b)
+  | Plan.Intersect (a, b) ->
+      Intersect (physicalize ~indexes a, physicalize ~indexes b)
+  | Plan.Count inner -> Count (physicalize ~indexes inner)
+  | Plan.Group_count (cols, inner) ->
+      Group_count (cols, physicalize ~indexes inner)
+  | Plan.Empty cols -> Empty cols
+
+let execute_access store = function
+  | Seq_scan name -> Database.find store.db name
+  | Index_lookup { table; column; value; residual } ->
+      let source = Database.find store.db table in
+      let rows = Index.lookup (index_of store table column) value in
+      let t = Table.of_rows ~name:table (Table.schema source) rows in
+      (match residual with
+      | None -> t
+      | Some pred -> Ops.select ~funcs:(Database.functions store.db) pred t)
+
+let rec execute store = function
+  | Access a -> execute_access store a
+  | Select (pred, inner) ->
+      Ops.select ~funcs:(Database.functions store.db) pred (execute store inner)
+  | Project (cols, inner) -> Ops.project cols (execute store inner)
+  | Distinct inner -> Table.distinct (execute store inner)
+  | Union (a, b) -> Ops.union (execute store a) (execute store b)
+  | Except (a, b) -> Ops.except (execute store a) (execute store b)
+  | Intersect (a, b) -> Ops.intersect (execute store a) (execute store b)
+  | Count inner ->
+      Table.of_rows ~name:"<count>"
+        (Schema.of_list [ "count" ])
+        [ [| Value.Int (Table.cardinality (execute store inner)) |] ]
+  | Group_count (cols, inner) ->
+      Table.of_rows ~name:"<group>"
+        (Schema.of_list (cols @ [ "count" ]))
+        (List.map
+           (fun (key, n) -> Array.append key [| Value.Int n |])
+           (Ops.group_count ~by:cols (execute store inner)))
+  | Empty cols -> Table.create ~name:"<empty>" (Schema.of_list cols)
+
+let run ?(indexes = []) store src =
+  let logical = Plan.optimize (Plan.of_query (Sql_parser.parse_query src)) in
+  execute store (physicalize ~indexes logical)
+
+let explain p =
+  let buf = Buffer.create 256 in
+  let rec go indent p =
+    let pr fmt =
+      Printf.ksprintf
+        (fun s ->
+          Buffer.add_string buf (String.make indent ' ');
+          Buffer.add_string buf s;
+          Buffer.add_char buf '\n')
+        fmt
+    in
+    match p with
+    | Access (Seq_scan name) -> pr "seq scan %s" name
+    | Access (Index_lookup { table; column; value; residual }) ->
+        pr "index lookup %s.%s = %s%s" table column (Value.to_sql value)
+          (match residual with
+          | None -> ""
+          | Some e -> Format.asprintf " [filter %a]" Expr.pp e)
+    | Select (e, inner) ->
+        pr "filter %s" (Format.asprintf "%a" Expr.pp e);
+        go (indent + 2) inner
+    | Project (cols, inner) ->
+        pr "project [%s]" (String.concat ", " cols);
+        go (indent + 2) inner
+    | Distinct inner -> pr "distinct"; go (indent + 2) inner
+    | Count inner -> pr "count"; go (indent + 2) inner
+    | Group_count (cols, inner) ->
+        pr "group count by [%s]" (String.concat ", " cols);
+        go (indent + 2) inner
+    | Union (a, b) -> pr "union"; go (indent + 2) a; go (indent + 2) b
+    | Except (a, b) -> pr "except"; go (indent + 2) a; go (indent + 2) b
+    | Intersect (a, b) -> pr "intersect"; go (indent + 2) a; go (indent + 2) b
+    | Empty cols -> pr "empty [%s]" (String.concat ", " cols)
+  in
+  go 0 p;
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Physical planning: choosing access paths for a logical plan.
+
+    Given the columns that carry indexes, {!physicalize} rewrites
+    [select … from t where c = 'v' and rest] into an index lookup on [c]
+    with [rest] as a residual filter — the classical
+    logical-plan → physical-plan step of a relational engine (and the
+    other half of the paper's "query optimization techniques inherent in
+    relational database systems").
+
+    Index construction is handled by an {!store}: a lazy cache of
+    {!Index.t} values per (table, column), built on first use against the
+    database snapshot. *)
+
+type access =
+  | Seq_scan of string
+  | Index_lookup of {
+      table : string;
+      column : string;
+      value : Value.t;
+      residual : Expr.t option;  (** remaining conjuncts, applied per row *)
+    }
+
+type t =
+  | Access of access
+  | Select of Expr.t * t
+  | Project of string list * t
+  | Distinct of t
+  | Union of t * t
+  | Except of t * t
+  | Intersect of t * t
+  | Count of t
+  | Group_count of string list * t
+  | Empty of string list
+
+type store
+(** Lazy index cache bound to one database snapshot. *)
+
+val make_store : Database.t -> store
+
+val indexed_columns : (string * string) list -> string -> string list
+(** Columns declared indexed for a table, from a [(table, column)] list. *)
+
+val physicalize : indexes:(string * string) list -> Plan.t -> t
+(** Choose access paths: a [Select] directly over a [Scan] whose
+    predicate contains a top-level [col = literal] conjunct on an indexed
+    column becomes an {!access.Index_lookup}. *)
+
+val execute : store -> t -> Table.t
+(** Evaluate; index lookups hit the store's cache. *)
+
+val run : ?indexes:(string * string) list -> store -> string -> Table.t
+(** Parse → logical optimize → physicalize → execute against the store's
+    database. *)
+
+val explain : t -> string

@@ -1,0 +1,72 @@
+type column_stats = {
+  column : string;
+  distinct : int;
+  nulls : int;
+  most_common : (Value.t * int) option;
+}
+
+type t = {
+  table : string;
+  rows : int;
+  columns : int;
+  null_cells : int;
+  total_cells : int;
+  per_column : column_stats list;
+}
+
+let sparsity p =
+  if p.total_cells = 0 then 0.
+  else float_of_int p.null_cells /. float_of_int p.total_cells
+
+let column_stats tbl idx column =
+  let counts = Hashtbl.create 16 in
+  let nulls = ref 0 in
+  Table.iter
+    (fun row ->
+      match row.(idx) with
+      | Value.Null -> incr nulls
+      | v ->
+          Hashtbl.replace counts v
+            (1 + Option.value (Hashtbl.find_opt counts v) ~default:0))
+    tbl;
+  let most_common =
+    Hashtbl.fold
+      (fun v n best ->
+        match best with
+        | Some (_, m) when m >= n -> best
+        | _ -> Some (v, n))
+      counts None
+  in
+  { column; distinct = Hashtbl.length counts; nulls = !nulls; most_common }
+
+let profile tbl =
+  let schema = Table.schema tbl in
+  let per_column =
+    List.mapi (fun i c -> column_stats tbl i c) (Schema.columns schema)
+  in
+  let rows = Table.cardinality tbl in
+  let columns = Schema.arity schema in
+  {
+    table = Table.name tbl;
+    rows;
+    columns;
+    null_cells = List.fold_left (fun acc c -> acc + c.nulls) 0 per_column;
+    total_cells = rows * columns;
+    per_column;
+  }
+
+let to_string p =
+  let buf = Buffer.create 512 in
+  Printf.ksprintf (Buffer.add_string buf)
+    "%s: %d rows x %d columns, %.0f%% of cells are NULL\n" p.table p.rows
+    p.columns
+    (100. *. sparsity p);
+  List.iter
+    (fun c ->
+      Printf.ksprintf (Buffer.add_string buf)
+        "  %-12s %4d distinct, %5d null%s\n" c.column c.distinct c.nulls
+        (match c.most_common with
+        | Some (v, n) -> Printf.sprintf ", mode %s (%d)" (Value.to_string v) n
+        | None -> ""))
+    p.per_column;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Table statistics: the numbers the paper reports about its tables
+    ("the table D is typically specified only for the legal input
+    combinations and as a result is quite sparse", "the number of columns
+    … is an order of magnitude smaller than the number of rows").
+
+    Used by the experiment harness (E3) and available to users profiling
+    their own controller specifications. *)
+
+type column_stats = {
+  column : string;
+  distinct : int;  (** distinct non-NULL values *)
+  nulls : int;  (** NULL (dont-care / no-op) cells *)
+  most_common : (Value.t * int) option;
+}
+
+type t = {
+  table : string;
+  rows : int;
+  columns : int;
+  null_cells : int;
+  total_cells : int;
+  per_column : column_stats list;
+}
+
+val sparsity : t -> float
+(** Fraction of cells that are NULL — the paper's "quite sparse". *)
+
+val profile : Table.t -> t
+val to_string : t -> string
+(** An aligned per-column summary. *)

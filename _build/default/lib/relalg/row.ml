@@ -1,0 +1,44 @@
+type t = Value.t array
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let hash a = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 a
+let of_list = Array.of_list
+let to_list = Array.to_list
+let strings ss = Array.of_list (List.map Value.str ss)
+
+let pp fmt r =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", " (List.map Value.to_string (to_list r)))
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

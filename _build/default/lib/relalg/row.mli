@@ -1,0 +1,22 @@
+(** Rows (tuples) of a relation: flat arrays of {!Value.t}, positionally
+    aligned with a {!Schema.t}. *)
+
+type t = Value.t array
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic over {!Value.compare}. *)
+
+val hash : t -> int
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+val strings : string list -> t
+(** Convenience: build a row of [Str] cells (["-"] does {e not} map to
+    [Null]; use {!of_list} with explicit [Null]s where needed). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,46 @@
+(** Relation schemas: an ordered sequence of distinct column names.
+
+    Column order matters for printing and for positional row access, but all
+    relational operations address columns by name.  Lookups are O(1) via an
+    internal index. *)
+
+type t
+
+exception Duplicate_column of string
+exception Unknown_column of string
+
+val of_list : string list -> t
+(** Build a schema from column names, in order.
+    @raise Duplicate_column if a name repeats. *)
+
+val columns : t -> string list
+(** Column names in declaration order. *)
+
+val arity : t -> int
+val mem : t -> string -> bool
+
+val index : t -> string -> int
+(** Position of a column. @raise Unknown_column if absent. *)
+
+val index_opt : t -> string -> int option
+
+val append : t -> string list -> t
+(** [append s cols] extends [s] with new columns on the right.
+    @raise Duplicate_column on clash with existing columns. *)
+
+val project : t -> string list -> t
+(** Sub-schema with the given columns, in the {e given} order.
+    @raise Unknown_column if any is absent. *)
+
+val rename : t -> (string * string) list -> t
+(** [rename s [(old, new_); ...]] renames columns; unmentioned columns keep
+    their names. @raise Unknown_column / @raise Duplicate_column. *)
+
+val equal : t -> t -> bool
+(** Same columns in the same order. *)
+
+val union_compatible : t -> t -> bool
+(** Same arity and same column names in the same order (the precondition for
+    UNION / EXCEPT / INTERSECT). *)
+
+val pp : Format.formatter -> t -> unit

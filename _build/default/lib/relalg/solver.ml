@@ -1,0 +1,154 @@
+type role = Input | Output
+type column = { cname : string; role : role; domain : Value.t list }
+
+type spec = {
+  sname : string;
+  cols : column list;
+  constraints : (string * Expr.t) list;
+}
+
+type stats = {
+  candidates : int;
+  evaluations : int;
+  per_column : (string * int) list;
+}
+
+exception Invalid_spec of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_spec s)) fmt
+
+let make ~name ~columns ~constraints =
+  let names = List.map (fun c -> c.cname) columns in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c then invalid "duplicate column %s in %s" c name;
+      Hashtbl.add seen c ())
+    names;
+  List.iter
+    (fun c ->
+      if c.domain = [] then invalid "empty domain for column %s in %s" c.cname name)
+    columns;
+  List.iter
+    (fun (c, e) ->
+      if not (Hashtbl.mem seen c) then
+        invalid "constraint on unknown column %s in %s" c name;
+      List.iter
+        (fun fc ->
+          if not (Hashtbl.mem seen fc) then
+            invalid "constraint on %s in %s mentions unknown column %s" c name fc)
+        (Expr.free_columns e))
+    constraints;
+  { sname = name; cols = columns; constraints }
+
+let name s = s.sname
+let columns s = s.cols
+let inputs s = List.filter (fun c -> c.role = Input) s.cols
+let outputs s = List.filter (fun c -> c.role = Output) s.cols
+
+let constraint_of s c =
+  if not (List.exists (fun col -> col.cname = c) s.cols) then
+    invalid "no column %s in %s" c s.sname;
+  match List.assoc_opt c s.constraints with Some e -> e | None -> Expr.True
+
+let search_space s =
+  List.fold_left (fun acc c -> acc * List.length c.domain) 1 s.cols
+
+(* Column addition order: inputs in declaration order, then outputs in
+   declaration order — the paper first solves the input combinations, then
+   extends with one output column at a time. *)
+let ordered_columns s = inputs s @ outputs s
+
+let generate ?funcs s =
+  let order = ordered_columns s in
+  let evaluations = ref 0 and candidates = ref 0 in
+  let per_column = ref [] in
+  (* Constraints not yet applied, with their free-column sets. *)
+  let pending =
+    ref
+      (List.map
+         (fun c ->
+           let e = constraint_of s c.cname in
+           Expr.free_columns e, e)
+         order
+       |> List.filter (fun (_, e) -> e <> Expr.True))
+  in
+  let bound = Hashtbl.create 16 in
+  let step (schema, rows) col =
+    Hashtbl.add bound col.cname ();
+    let schema' = Schema.append schema [ col.cname ] in
+    let ready, waiting =
+      List.partition
+        (fun (free, _) -> List.for_all (Hashtbl.mem bound) free)
+        !pending
+    in
+    pending := waiting;
+    let applicable =
+      List.map (fun (_, e) -> Expr.compile ?funcs schema' e) ready
+    in
+    let extend row v =
+      incr candidates;
+      let row' = Array.append row [| v |] in
+      let ok =
+        List.for_all
+          (fun check ->
+            incr evaluations;
+            check row')
+          applicable
+      in
+      if ok then Some row' else None
+    in
+    let rows' =
+      List.concat_map
+        (fun row -> List.filter_map (extend row) col.domain)
+        rows
+    in
+    per_column := (col.cname, List.length rows') :: !per_column;
+    schema', rows'
+  in
+  let schema, rows =
+    List.fold_left step (Schema.of_list [], [ [||] ]) order
+  in
+  ( Table.of_rows ~name:s.sname schema rows,
+    {
+      candidates = !candidates;
+      evaluations = !evaluations;
+      per_column = List.rev !per_column;
+    } )
+
+let generate_monolithic ?funcs s =
+  let order = ordered_columns s in
+  let schema = Schema.of_list (List.map (fun c -> c.cname) order) in
+  let conjunction =
+    Expr.compile ?funcs schema
+      (Expr.conj (List.map (fun c -> constraint_of s c.cname) order))
+  in
+  let evaluations = ref 0 and candidates = ref 0 in
+  let kept = ref [] in
+  (* Enumerate the full cross product without materializing it as a list of
+     lists: depth-first over the domains. *)
+  let domains = Array.of_list (List.map (fun c -> Array.of_list c.domain) order) in
+  let n = Array.length domains in
+  let row = Array.make (max n 1) Value.Null in
+  let rec enum i =
+    if i = n then begin
+      incr candidates;
+      incr evaluations;
+      let r = Array.sub row 0 n in
+      if conjunction r then kept := r :: !kept
+    end
+    else
+      Array.iter
+        (fun v ->
+          row.(i) <- v;
+          enum (i + 1))
+        domains.(i)
+  in
+  if n = 0 then () else enum 0;
+  let rows = List.rev !kept in
+  ( Table.of_rows ~name:s.sname schema rows,
+    {
+      candidates = !candidates;
+      evaluations = !evaluations;
+      per_column = [ ("<full product>", List.length rows) ];
+    } )

@@ -1,0 +1,60 @@
+type projection =
+  | Star
+  | Columns of string list
+  | Count
+  | Group_count of string list
+
+type select = {
+  distinct : bool;
+  columns : projection;
+  from : string;
+  where : Expr.t option;
+}
+
+type query =
+  | Select of select
+  | Union of query * query
+  | Except of query * query
+  | Intersect of query * query
+
+type statement =
+  | Query of query
+  | Create_table_as of string * query
+  | Insert of string * Value.t list list
+  | Drop_table of string
+
+let pp_select fmt s =
+  Format.fprintf fmt "select %s%s from %s"
+    (if s.distinct then "distinct " else "")
+    (match s.columns with
+    | Star -> "*"
+    | Columns cs -> String.concat ", " cs
+    | Count -> "COUNT(*)"
+    | Group_count cs -> String.concat ", " cs ^ ", COUNT(*)")
+    s.from;
+  (match s.where with
+  | None -> ()
+  | Some e -> Format.fprintf fmt " where %a" Expr.pp e);
+  match s.columns with
+  | Group_count cs -> Format.fprintf fmt " group by %s" (String.concat ", " cs)
+  | Star | Columns _ | Count -> ()
+
+let rec pp_query fmt = function
+  | Select s -> pp_select fmt s
+  | Union (a, b) -> Format.fprintf fmt "(%a union %a)" pp_query a pp_query b
+  | Except (a, b) -> Format.fprintf fmt "(%a except %a)" pp_query a pp_query b
+  | Intersect (a, b) ->
+      Format.fprintf fmt "(%a intersect %a)" pp_query a pp_query b
+
+let pp_statement fmt = function
+  | Query q -> pp_query fmt q
+  | Create_table_as (n, q) ->
+      Format.fprintf fmt "create table %s as %a" n pp_query q
+  | Insert (n, rows) ->
+      Format.fprintf fmt "insert into %s values %s" n
+        (String.concat ", "
+           (List.map
+              (fun vs ->
+                "(" ^ String.concat ", " (List.map Value.to_sql vs) ^ ")")
+              rows))
+  | Drop_table n -> Format.fprintf fmt "drop table %s" n

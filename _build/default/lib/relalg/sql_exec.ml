@@ -1,0 +1,64 @@
+exception Exec_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+let rec run_query db (q : Sql_ast.query) =
+  match q with
+  | Select { distinct; columns; from; where } ->
+      let table =
+        match Database.find_opt db from with
+        | Some t -> t
+        | None -> error "unknown table %s" from
+      in
+      let table =
+        match where with
+        | None -> table
+        | Some pred -> Ops.select ~funcs:(Database.functions db) pred table
+      in
+      let table =
+        match columns with
+        | Sql_ast.Star -> table
+        | Sql_ast.Columns cols -> Ops.project cols table
+        | Sql_ast.Count ->
+            Table.of_rows ~name:"<count>"
+              (Schema.of_list [ "count" ])
+              [ [| Value.Int (Table.cardinality table) |] ]
+        | Sql_ast.Group_count cols ->
+            let groups = Ops.group_count ~by:cols table in
+            Table.of_rows ~name:"<group>"
+              (Schema.of_list (cols @ [ "count" ]))
+              (List.map
+                 (fun (key, n) -> Array.append key [| Value.Int n |])
+                 groups)
+      in
+      let table = if distinct then Table.distinct table else table in
+      Table.with_name "<query>" table
+  | Union (a, b) -> Ops.union (run_query db a) (run_query db b)
+  | Except (a, b) -> Ops.except (run_query db a) (run_query db b)
+  | Intersect (a, b) -> Ops.intersect (run_query db a) (run_query db b)
+
+let run_statement db (s : Sql_ast.statement) =
+  match s with
+  | Query q -> db, Some (run_query db q)
+  | Create_table_as (name, q) ->
+      let t = Table.with_name name (run_query db q) in
+      Database.replace db t, Some t
+  | Insert (name, rows) ->
+      let t =
+        match Database.find_opt db name with
+        | Some t -> t
+        | None -> error "unknown table %s" name
+      in
+      let t = Table.add_all t (List.map Row.of_list rows) in
+      Database.replace db t, None
+  | Drop_table name ->
+      if not (Database.mem db name) then error "unknown table %s" name;
+      Database.remove db name, None
+
+let query db src = run_query db (Sql_parser.parse_query src)
+let exec db src = run_statement db (Sql_parser.parse_statement src)
+
+let exec_script db stmts =
+  List.fold_left (fun db src -> fst (exec db src)) db stmts
+
+let is_empty db src = Table.is_empty (query db src)

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the SQL subset (see {!Sql_ast}).
+
+    Besides standard predicate syntax ([=], [<>], [IN], [AND/OR/NOT],
+    parentheses, boolean function application), WHERE clauses accept the
+    paper's ternary constraint notation [cond ? p1 : p2], so column
+    constraints from section 3 parse verbatim. *)
+
+exception Parse_error of string
+
+val parse_statement : string -> Sql_ast.statement
+(** Parse one statement (an optional trailing [;] is allowed).
+    @raise Parse_error / @raise Sql_lexer.Lex_error. *)
+
+val parse_query : string -> Sql_ast.query
+(** Parse a bare query. *)
+
+val parse_predicate : string -> Expr.t
+(** Parse a WHERE-style predicate on its own — used to read column
+    constraints written in the paper's concrete syntax. *)

@@ -1,0 +1,99 @@
+type t = { name : string; schema : Schema.t; rows : Row.t list }
+
+exception Arity_mismatch of { table : string; expected : int; got : int }
+
+let check_arity t row =
+  let expected = Schema.arity t.schema and got = Array.length row in
+  if expected <> got then raise (Arity_mismatch { table = t.name; expected; got })
+
+let create ~name schema = { name; schema; rows = [] }
+
+let of_rows ~name schema rows =
+  let t = { name; schema; rows } in
+  List.iter (check_arity t) rows;
+  t
+
+let name t = t.name
+let with_name name t = { t with name }
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = List.length t.rows
+let arity t = Schema.arity t.schema
+let is_empty t = t.rows = []
+
+let add t row =
+  check_arity t row;
+  { t with rows = t.rows @ [ row ] }
+
+let add_all t extra =
+  List.iter (check_arity t) extra;
+  { t with rows = t.rows @ extra }
+
+let mem t row = List.exists (Row.equal row) t.rows
+let cell t row col = row.(Schema.index t.schema col)
+let iter f t = List.iter f t.rows
+let fold f init t = List.fold_left f init t.rows
+let filter p t = { t with rows = List.filter p t.rows }
+
+let map_rows f t =
+  let t' = { t with rows = List.map f t.rows } in
+  List.iter (check_arity t') t'.rows;
+  t'
+
+let sort t = { t with rows = List.sort Row.compare t.rows }
+
+let distinct t =
+  let seen = Row.Tbl.create (List.length t.rows) in
+  let keep row =
+    if Row.Tbl.mem seen row then false
+    else begin
+      Row.Tbl.add seen row ();
+      true
+    end
+  in
+  { t with rows = List.filter keep t.rows }
+
+let row_set t =
+  let set = Row.Tbl.create (List.length t.rows) in
+  List.iter (fun r -> Row.Tbl.replace set r ()) t.rows;
+  set
+
+let subset a b =
+  if not (Schema.union_compatible a.schema b.schema) then false
+  else
+    let bs = row_set b in
+    List.for_all (Row.Tbl.mem bs) a.rows
+
+let equal_as_sets a b = subset a b && subset b a
+
+let to_string t =
+  let cols = Schema.columns t.schema in
+  let header = Array.of_list cols in
+  let width = Array.map String.length header in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i v -> width.(i) <- max width.(i) (String.length (Value.to_string v)))
+        row)
+    t.rows;
+  let buf = Buffer.create 256 in
+  let pad i s =
+    Buffer.add_string buf s;
+    Buffer.add_string buf (String.make (width.(i) - String.length s + 2) ' ')
+  in
+  Array.iteri pad header;
+  Buffer.add_char buf '\n';
+  Array.iteri (fun i _ -> pad i (String.make width.(i) '-')) header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Array.iteri (fun i v -> pad i (Value.to_string v)) row;
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let pp fmt t =
+  Format.fprintf fmt "%s [%d rows]@.%s" t.name (cardinality t) (to_string t)
+
+let row_assoc t row =
+  List.mapi (fun i c -> c, row.(i)) (Schema.columns t.schema)

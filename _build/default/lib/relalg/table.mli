@@ -1,0 +1,65 @@
+(** Relations: a named schema plus a sequence of rows.
+
+    Tables are immutable values; every operation returns a new table.  Rows
+    keep insertion order (useful for printing controller tables in the
+    paper's layout) but all set-like operations ({!Ops}) treat a table as a
+    set of rows. *)
+
+type t
+
+exception Arity_mismatch of { table : string; expected : int; got : int }
+
+val create : name:string -> Schema.t -> t
+(** Empty table. *)
+
+val of_rows : name:string -> Schema.t -> Row.t list -> t
+(** @raise Arity_mismatch if any row length differs from the schema arity. *)
+
+val name : t -> string
+val with_name : string -> t -> t
+val schema : t -> Schema.t
+val rows : t -> Row.t list
+(** Rows in insertion order. *)
+
+val cardinality : t -> int
+val arity : t -> int
+val is_empty : t -> bool
+
+val add : t -> Row.t -> t
+(** Append one row. @raise Arity_mismatch. *)
+
+val add_all : t -> Row.t list -> t
+val mem : t -> Row.t -> bool
+
+val cell : t -> Row.t -> string -> Value.t
+(** [cell t row col] reads a named field of a row of [t].
+    @raise Schema.Unknown_column. *)
+
+val iter : (Row.t -> unit) -> t -> unit
+val fold : ('a -> Row.t -> 'a) -> 'a -> t -> 'a
+val filter : (Row.t -> bool) -> t -> t
+val map_rows : (Row.t -> Row.t) -> t -> t
+(** Row-wise rewrite preserving the schema. @raise Arity_mismatch if the
+    function changes row length. *)
+
+val sort : t -> t
+(** Rows in {!Row.compare} order. *)
+
+val distinct : t -> t
+(** Remove duplicate rows, keeping the first occurrence of each. *)
+
+val equal_as_sets : t -> t -> bool
+(** Same schema (column names in order) and same set of rows. *)
+
+val subset : t -> t -> bool
+(** [subset a b]: every row of [a] occurs in [b] (schemas must be
+    union-compatible).  This is the paper's "resulting table contains the
+    original debugged table" check for implementation mappings. *)
+
+val to_string : t -> string
+(** Aligned textual rendering with a header line, as in Figure 3. *)
+
+val pp : Format.formatter -> t -> unit
+
+val row_assoc : t -> Row.t -> (string * Value.t) list
+(** A row as (column, value) pairs, in schema order. *)

@@ -1,0 +1,42 @@
+type t = Null | Str of string | Int of int | Bool of bool
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Str x, Str y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | (Null | Str _ | Int _ | Bool _), _ -> false
+
+let rank = function Null -> 0 | Bool _ -> 1 | Int _ -> 2 | Str _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 17 else 19
+  | Int i -> 23 * i + 5
+  | Str s -> 31 * Hashtbl.hash s + 7
+
+let is_null = function Null -> true | Str _ | Int _ | Bool _ -> false
+let str s = Str s
+
+let to_string = function
+  | Null -> "-"
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Bool b -> string_of_bool b
+
+let to_sql = function
+  | Null -> "NULL"
+  | Str s -> "'" ^ s ^ "'"
+  | Int i -> string_of_int i
+  | Bool b -> if b then "TRUE" else "FALSE"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,40 @@
+(** Typed atomic values stored in relation cells.
+
+    The paper's column tables hold symbolic protocol constants (message
+    names, state names, presence-vector encodings) plus the distinguished
+    [NULL] value, which denotes a dont-care on input columns and a no-op on
+    output columns.  Unlike ANSI SQL, [NULL] here is an ordinary first-class
+    constant: [Null = Null] holds.  This matches how the paper uses NULL
+    (rows are generated with NULL cells and later compared for containment),
+    and avoids three-valued logic the paper never relies on. *)
+
+type t =
+  | Null  (** dont-care (input column) / no-op (output column) *)
+  | Str of string  (** symbolic constant, e.g. ["readex"], ["Busy-sd"] *)
+  | Int of int  (** numeric constant, e.g. a queue capacity *)
+  | Bool of bool  (** boolean constant *)
+
+val equal : t -> t -> bool
+(** Structural equality; [equal Null Null = true]. *)
+
+val compare : t -> t -> int
+(** Total order used for sorting and set-like table operations.  [Null] is
+    smallest; then [Bool], [Int], [Str]. *)
+
+val hash : t -> int
+(** Hash consistent with {!equal}. *)
+
+val is_null : t -> bool
+
+val str : string -> t
+(** [str s] is [Str s]. *)
+
+val to_string : t -> string
+(** Rendering used in table printouts and generated reports; [Null] prints
+    as ["-"]. *)
+
+val to_sql : t -> string
+(** Rendering as a SQL literal; strings are single-quoted, [Null] prints as
+    [NULL]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/impl_runner.ml: Lazy List Mapping Mcheck Printf

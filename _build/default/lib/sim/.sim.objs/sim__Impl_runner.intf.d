@@ -1,0 +1,1 @@
+lib/sim/impl_runner.mli: Mcheck

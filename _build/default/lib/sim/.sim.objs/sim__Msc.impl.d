@@ -1,0 +1,1 @@
+lib/sim/msc.ml: Buffer Bytes Hashtbl List Mcheck Option Printf String

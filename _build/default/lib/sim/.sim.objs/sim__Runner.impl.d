@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Channel Checker Format Fun Lazy List Mcheck Printf

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Array Channel Checker List Mcheck Random Runner

@@ -1,0 +1,1 @@
+lib/sim/walkthrough.ml: Buffer Checker Fun List Mcheck Msc Printf Runner

@@ -1,0 +1,204 @@
+type participant = Node of int | Directory | Memory
+
+let participant_label = function
+  | Node n -> Printf.sprintf "node%d" n
+  | Directory -> "dir"
+  | Memory -> "mem"
+
+type event =
+  | Message of { msg : string; src : participant; dst : participant;
+                 cls : string }
+  | Local of { where : participant; what : string }
+
+let endpoint id =
+  if id = Mcheck.Mstate.dir then Directory
+  else if id = Mcheck.Mstate.mem then Memory
+  else Node id
+
+let parse_line line =
+  match String.split_on_char ' ' line with
+  | "deliver" :: msg :: route :: cls :: _ ->
+      (* route is "<src>-><dst>" where ids may be negative (dir = -1,
+         memory = -2), so try every "->" occurrence *)
+      let n = String.length route in
+      let rec try_arrow i =
+        if i + 1 >= n then None
+        else if route.[i] = '-' && route.[i + 1] = '>' then
+          match
+            ( int_of_string_opt (String.sub route 0 i),
+              int_of_string_opt (String.sub route (i + 2) (n - i - 2)) )
+          with
+          | Some s, Some d ->
+              let cls =
+                if String.length cls >= 2 && cls.[0] = '(' then
+                  String.sub cls 1 (String.length cls - 2)
+                else cls
+              in
+              Some (Message { msg; src = endpoint s; dst = endpoint d; cls })
+          | _ -> try_arrow (i + 1)
+        else try_arrow (i + 1)
+      in
+      try_arrow 0
+  | "issue" :: op :: node :: rest ->
+      let addr = match rest with a :: _ -> " " ^ a | [] -> "" in
+      Option.map
+        (fun n -> Local { where = Node n; what = op ^ addr })
+        (int_of_string_opt
+           (String.sub node 4 (max 0 (String.length node - 4))))
+  | "reissue" :: node :: _ ->
+      Option.map
+        (fun n -> Local { where = Node n; what = "reissue" })
+        (int_of_string_opt
+           (String.sub node 4 (max 0 (String.length node - 4))))
+  | _ -> None
+
+let parse_trace lines = List.filter_map parse_line lines
+
+let participants events =
+  let mentioned = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Message { src; dst; _ } ->
+          Hashtbl.replace mentioned src ();
+          Hashtbl.replace mentioned dst ()
+      | Local { where; _ } -> Hashtbl.replace mentioned where ())
+    events;
+  let nodes =
+    List.sort compare
+      (Hashtbl.fold
+         (fun p () acc -> match p with Node n -> n :: acc | _ -> acc)
+         mentioned [])
+  in
+  List.map (fun n -> Node n) nodes
+  @ (if Hashtbl.mem mentioned Directory then [ Directory ] else [])
+  @ if Hashtbl.mem mentioned Memory then [ Memory ] else []
+
+let to_ascii ?title events =
+  let ps = participants events in
+  if ps = [] then "(empty trace)\n"
+  else begin
+    let widest_label =
+      List.fold_left
+        (fun acc ev ->
+          match ev with
+          | Message { msg; cls; _ } -> max acc (String.length msg + String.length cls + 3)
+          | Local { what; _ } -> max acc (String.length what + 2))
+        8 events
+    in
+    let spacing = widest_label + 6 in
+    let xs = List.mapi (fun i p -> p, (i * spacing) + 4) ps in
+    let width = (List.length ps - 1) * spacing + 16 in
+    let buf = Buffer.create 1024 in
+    (match title with
+    | Some t -> Buffer.add_string buf (t ^ "\n\n")
+    | None -> ());
+    (* header *)
+    let header = Bytes.make width ' ' in
+    List.iter
+      (fun (p, x) ->
+        let label = participant_label p in
+        let start = max 0 (x - (String.length label / 2)) in
+        Bytes.blit_string label 0 header start
+          (min (String.length label) (width - start)))
+      xs;
+    let header = Bytes.to_string header in
+    let hlen = ref (String.length header) in
+    while !hlen > 0 && header.[!hlen - 1] = ' ' do decr hlen done;
+    Buffer.add_string buf (String.sub header 0 !hlen);
+    Buffer.add_char buf '\n';
+    let lifeline_row () =
+      let row = Bytes.make width ' ' in
+      List.iter (fun (_, x) -> Bytes.set row x '|') xs;
+      row
+    in
+    let emit row =
+      (* trim trailing spaces *)
+      let s = Bytes.to_string row in
+      let len = ref (String.length s) in
+      while !len > 0 && s.[!len - 1] = ' ' do decr len done;
+      Buffer.add_string buf (String.sub s 0 !len);
+      Buffer.add_char buf '\n'
+    in
+    List.iter
+      (fun ev ->
+        let row = lifeline_row () in
+        (match ev with
+        | Message { msg; src; dst; cls } ->
+            let x1 = List.assoc src xs and x2 = List.assoc dst xs in
+            if x1 = x2 then begin
+              (* self message: mark at the lifeline *)
+              let label = Printf.sprintf "(%s %s)" msg cls in
+              Bytes.blit_string label 0 row (x1 + 2)
+                (min (String.length label) (width - x1 - 2))
+            end
+            else begin
+              let lo = min x1 x2 and hi = max x1 x2 in
+              for i = lo + 1 to hi - 1 do
+                if Bytes.get row i = ' ' then Bytes.set row i '-'
+              done;
+              if x2 > x1 then Bytes.set row (hi - 1) '>'
+              else Bytes.set row (lo + 1) '<';
+              let label = Printf.sprintf " %s (%s) " msg cls in
+              let start = ((lo + hi) / 2) - (String.length label / 2) in
+              let start = max (lo + 2) start in
+              Bytes.blit_string label 0 row start
+                (min (String.length label) (max 0 (hi - 1 - start)))
+            end
+        | Local { where; what } ->
+            let x = List.assoc where xs in
+            Bytes.set row x '*';
+            let label = " " ^ what in
+            Bytes.blit_string label 0 row (x + 1)
+              (min (String.length label) (width - x - 1)));
+        emit row)
+      events;
+    emit (lifeline_row ());
+    Buffer.contents buf
+  end
+
+let to_latex ?title events =
+  let ps = participants events in
+  let n = List.length ps in
+  let col p =
+    let rec idx i = function
+      | [] -> 0
+      | q :: rest -> if q = p then i else idx (i + 1) rest
+    in
+    idx 0 ps
+  in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "%% generated message-sequence chart%s\n"
+    (match title with Some t -> ": " ^ t | None -> "");
+  pr "\\begin{picture}(%d,%d)\n" (n * 30) ((List.length events + 2) * 10);
+  let top = (List.length events + 1) * 10 in
+  List.iteri
+    (fun i p ->
+      pr "  \\put(%d,%d){\\makebox(0,0){%s}}\n" ((i * 30) + 15) top
+        (participant_label p);
+      pr "  \\put(%d,0){\\line(0,1){%d}}\n" ((i * 30) + 15) (top - 5))
+    ps;
+  List.iteri
+    (fun row ev ->
+      let y = top - ((row + 1) * 10) in
+      match ev with
+      | Message { msg; src; dst; _ } ->
+          let x1 = (col src * 30) + 15 and x2 = (col dst * 30) + 15 in
+          if x1 <> x2 then begin
+            let dir = if x2 > x1 then 1 else -1 in
+            pr "  \\put(%d,%d){\\vector(%d,0){%d}}\n" x1 y dir (abs (x2 - x1));
+            pr "  \\put(%d,%d){\\makebox(0,0)[b]{\\scriptsize %s}}\n"
+              ((x1 + x2) / 2) (y + 2) msg
+          end
+          else
+            pr "  \\put(%d,%d){\\makebox(0,0)[l]{\\scriptsize (%s)}}\n"
+              (x1 + 2) y msg
+      | Local { where; what } ->
+          pr "  \\put(%d,%d){\\makebox(0,0)[l]{\\scriptsize *%s}}\n"
+            ((col where * 30) + 17) y what)
+    events;
+  pr "\\end{picture}\n";
+  Buffer.contents buf
+
+let render_run ?title lines = to_ascii ?title (parse_trace lines)

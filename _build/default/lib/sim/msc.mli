@@ -1,0 +1,42 @@
+(** Message-sequence-chart rendering of simulator traces.
+
+    The paper's Figure 2 (the read-exclusive transaction) and Figure 4
+    (the deadlock scenario) are message-sequence charts; this module
+    regenerates them from executed traces rather than by hand.  A trace
+    is the list of step labels produced by {!Runner.run} (or
+    {!Mcheck.Explore} counterexamples); deliveries are drawn as arrows
+    between the participant lifelines, issues and reissues as local
+    events. *)
+
+type participant = Node of int | Directory | Memory
+
+val participant_label : participant -> string
+
+type event =
+  | Message of { msg : string; src : participant; dst : participant;
+                 cls : string }
+  | Local of { where : participant; what : string }
+
+val parse_trace : string list -> event list
+(** Recover structured events from step labels; unrecognized lines are
+    dropped. *)
+
+val participants : event list -> participant list
+(** Everyone mentioned, local nodes first, then the directory, then
+    memory. *)
+
+val to_ascii : ?title:string -> event list -> string
+(** Fixed-width lifeline chart, one row per event:
+
+    {v
+    node0        dir          mem
+      |--readex-->|            |
+      |           |---mread--->|
+    v} *)
+
+val to_latex : ?title:string -> event list -> string
+(** A msc-style LaTeX picture (tikz-free, plain [picture] environment)
+    suitable for dropping into a design document. *)
+
+val render_run : ?title:string -> string list -> string
+(** [parse_trace] then [to_ascii]. *)

@@ -1,0 +1,48 @@
+(** The queue-accurate protocol simulator.
+
+    Executes the same table-driven semantics as the model checker, but
+    under a single schedule with finite virtual channels: a delivery is
+    possible only if all its outputs fit their channels.  A scripted
+    prefix pins the interesting interleaving (the paper's Figure 4 needs
+    a specific crossing of two transactions); afterwards the runner
+    free-runs deliveries round-robin until the system drains or wedges.
+
+    A wedged run reports the circular wait: which channels are full and
+    which blocked delivery each one is waiting on — the dynamic
+    counterpart of the static VCG cycle. *)
+
+type config = {
+  v : Checker.Vcassign.t;  (** channel assignment under test *)
+  capacity : string -> int;  (** slots per virtual channel *)
+  nodes : int;
+  addrs : int;
+  io_addrs : int list;  (** addresses in the uncached I/O space *)
+}
+
+val uniform_capacity : int -> string -> int
+
+type event =
+  | Issue of { node : int; addr : int; op : string }
+  | Deliver of { src : int; dst : int; cls : string }
+      (** deliver the head of this FIFO *)
+
+type result =
+  | Quiescent of { steps : int }
+  | Deadlock of {
+      steps : int;
+      occupancy : (string * int) list;  (** in-flight per channel *)
+      blocked : string list;  (** one line per undeliverable queue head *)
+    }
+
+exception Script_error of string
+(** A scripted event was not enabled (or a table had no row for it). *)
+
+val run :
+  ?script:event list ->
+  ?trace:(string -> unit) ->
+  ?max_steps:int ->
+  config ->
+  Mcheck.Mstate.t ->
+  result * Mcheck.Mstate.t
+
+val pp_result : Format.formatter -> result -> unit

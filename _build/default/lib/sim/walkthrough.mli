@@ -1,0 +1,25 @@
+(** Per-transaction walkthroughs for the enhanced architecture
+    specification.
+
+    The paper criticizes informal specifications for documenting "only a
+    few commonly occurring individual protocol transactions"; the
+    methodology's answer is tables for everything, but architects still
+    want the Figure 2-style walkthroughs.  This module generates them
+    {e from execution}: each representative transaction is run in the
+    simulator and rendered as a message-sequence chart, so the document
+    can never drift from the tables. *)
+
+type t = {
+  name : string;
+  description : string;
+  trace : string list;
+  chart : string;  (** ASCII message-sequence chart *)
+}
+
+val all : ?v:Checker.Vcassign.t -> unit -> t list
+(** Walkthroughs of the representative transactions (read miss, store
+    miss with invalidations, upgrade, writeback, dirty-read downgrade,
+    I/O read, lock handoff), executed under the given assignment
+    (default: the debugged one). *)
+
+val to_markdown : t list -> string

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Checker Deadlock Dependency Invariant Lazy List Option Printf Protocol Relalg String Vcassign Vcgraph

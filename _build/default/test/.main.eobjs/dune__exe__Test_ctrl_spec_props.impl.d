@@ -1,0 +1,1 @@
+test/test_ctrl_spec_props.ml: Expr List Ops Protocol QCheck QCheck_alcotest Relalg String Table

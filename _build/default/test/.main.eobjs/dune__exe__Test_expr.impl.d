@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Format QCheck QCheck_alcotest Relalg Row Schema Value

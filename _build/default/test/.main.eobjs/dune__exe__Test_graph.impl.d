@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Cycles Digraph Dot List Printf QCheck QCheck_alcotest Scc String Vcgraph

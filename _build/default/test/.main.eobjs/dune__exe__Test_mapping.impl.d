@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Codegen Database Expr Extend Lazy List Mapping Ops Partition Protocol Reconstruct Relalg Row Schema String Table Value

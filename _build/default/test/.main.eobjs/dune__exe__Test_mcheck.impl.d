@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Explore Lazy List Mcheck Mstate Protocol Semantics String

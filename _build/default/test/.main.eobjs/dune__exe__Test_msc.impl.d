@@ -1,0 +1,1 @@
+test/test_msc.ml: Alcotest Checker List Sim String

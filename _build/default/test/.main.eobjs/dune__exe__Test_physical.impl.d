@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Array Expr Index Lazy List Ops Physical Plan Protocol QCheck QCheck_alcotest Relalg Row Schema Sql_exec Sql_parser String Sys Table Value

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array Csv Database Expr List Ops Plan Printf Protocol QCheck QCheck_alcotest Relalg Row Schema Sql_exec Sql_parser String Table Value

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Ctrl_spec Dir_controller List Mem_controller Message Protocol Relalg State String Topology

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Checker List Protocol Relalg String Vcgraph

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Channel Checker Impl_runner List Mcheck Option Printf Runner Scenario Sim String

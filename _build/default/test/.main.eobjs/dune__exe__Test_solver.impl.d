@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Expr List Printf QCheck QCheck_alcotest Relalg Solver Table Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Database Expr Format List Relalg Row Schema Sql_ast Sql_exec Sql_lexer Sql_parser Table Value

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Expr List Ops Profile Protocol QCheck QCheck_alcotest Relalg Row Schema String Table Value

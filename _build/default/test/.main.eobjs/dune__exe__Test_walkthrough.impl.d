@@ -1,0 +1,1 @@
+test/test_walkthrough.ml: Alcotest Lazy List Sim String

@@ -1,0 +1,23 @@
+(* Aggregated test suites for the whole reproduction. *)
+
+let () =
+  Alcotest.run "asura_sql"
+    [
+      "values-rows-schemas", Test_value.suite;
+      "expressions", Test_expr.suite;
+      "tables-and-operators", Test_table.suite;
+      "constraint-solver", Test_solver.suite;
+      "sql-front-end", Test_sql.suite;
+      "plans-and-csv", Test_plan.suite;
+      "indexes-and-physical-plans", Test_physical.suite;
+      "graphs", Test_graph.suite;
+      "protocol-model", Test_protocol.suite;
+      "ctrl-spec-properties", Test_ctrl_spec_props.suite;
+      "checker", Test_checker.suite;
+      "reports-and-fixpoint", Test_report.suite;
+      "hardware-mapping", Test_mapping.suite;
+      "model-checker", Test_mcheck.suite;
+      "simulator", Test_sim.suite;
+      "sequence-charts", Test_msc.suite;
+      "transaction-walkthroughs", Test_walkthrough.suite;
+    ]

@@ -1,0 +1,115 @@
+(* Digraphs, strongly connected components, cycle enumeration. *)
+
+open Vcgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let g_of edges = Digraph.of_edges (List.map (fun (a, b) -> a, b, ()) edges)
+
+let test_digraph_basics () =
+  let g = g_of [ "a", "b"; "b", "c"; "a", "c" ] in
+  check_int "vertices" 3 (Digraph.num_vertices g);
+  check_int "edges" 3 (Digraph.num_edges g);
+  check "mem_edge" true (Digraph.mem_edge g ~src:"a" ~dst:"c");
+  check "no reverse edge" false (Digraph.mem_edge g ~src:"c" ~dst:"a");
+  check_int "duplicate edges collapse" 3
+    (Digraph.num_edges (Digraph.add_edge ~src:"a" ~dst:"b" ~label:() g));
+  check_int "parallel edges with distinct labels kept" 2
+    (Digraph.num_edges (Digraph.of_edges [ "a", "b", 1; "a", "b", 2 ]))
+
+let test_transpose_reachable () =
+  let g = g_of [ "a", "b"; "b", "c" ] in
+  Alcotest.(check (list string)) "reachable" [ "a"; "b"; "c" ]
+    (Digraph.reachable g "a");
+  Alcotest.(check (list string)) "reachable from sink" [ "c" ]
+    (Digraph.reachable g "c");
+  let t = Digraph.transpose g in
+  check "transpose reverses" true (Digraph.mem_edge t ~src:"c" ~dst:"b")
+
+let test_scc () =
+  let g = g_of [ "a", "b"; "b", "a"; "b", "c"; "c", "d"; "d", "c"; "e", "e" ] in
+  let comps = Scc.components g in
+  check_int "components" 3 (List.length comps);
+  let cyclic = Scc.cyclic_components g in
+  check_int "cyclic components (incl. self-loop)" 3 (List.length cyclic);
+  check "not acyclic" false (Scc.is_acyclic g);
+  check "dag is acyclic" true (Scc.is_acyclic (g_of [ "a", "b"; "b", "c" ]))
+
+let test_cycle_enumeration () =
+  (* two elementary cycles sharing a vertex, plus a self-loop *)
+  let g = g_of [ "a", "b"; "b", "a"; "b", "c"; "c", "b"; "d", "d" ] in
+  let cycles = Cycles.enumerate g in
+  check_int "three elementary cycles" 3 (List.length cycles);
+  check_int "cycles through b" 2 (List.length (Cycles.involving cycles "b"));
+  check_int "self-loop length" 1
+    (List.length
+       (List.find (fun (c : _ Cycles.cycle) -> c.nodes = [ "d" ]) cycles).nodes)
+
+let test_cycle_limit () =
+  (* complete digraph on 5 vertices has many elementary cycles *)
+  let vs = [ "a"; "b"; "c"; "d"; "e" ] in
+  let edges =
+    List.concat_map (fun x -> List.filter_map (fun y -> if x = y then None else Some (x, y)) vs) vs
+  in
+  check_int "limit respected" 7 (List.length (Cycles.enumerate ~limit:7 (g_of edges)))
+
+let test_labels_along_cycle () =
+  let g = Digraph.of_edges [ "x", "y", "first"; "y", "x", "second" ] in
+  let cycles = Cycles.enumerate g in
+  check_int "one cycle" 1 (List.length cycles);
+  let c = List.hd cycles in
+  Alcotest.(check (list string)) "labels in order" [ "first"; "second" ] c.labels
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_dot () =
+  let g = Digraph.of_edges [ "VC2", "VC4", "dep" ] in
+  let dot = Dot.to_dot ~edge_label:(fun l -> l) g in
+  check "mentions vertices" true (contains dot "VC2" && contains dot "VC4");
+  check "mentions label" true (contains dot "dep");
+  let highlighted = Dot.highlight_cycles g (Cycles.enumerate g) in
+  check "well-formed dot" true (contains highlighted "digraph")
+
+(* random DAG: enumerate finds nothing; adding a back edge finds >= 1 *)
+let dag_gen =
+  QCheck.Gen.(
+    let* n = int_range 3 7 in
+    let* edges =
+      list_size (int_bound 12)
+        (let* i = int_bound (n - 2) in
+         let* j = int_range (i + 1) (n - 1) in
+         return (Printf.sprintf "v%d" i, Printf.sprintf "v%d" j))
+    in
+    return (n, edges))
+
+let prop_dag_no_cycles =
+  QCheck.Test.make ~name:"forward-edge graphs are acyclic"
+    (QCheck.make dag_gen) (fun (_, edges) ->
+      Scc.is_acyclic (g_of edges) && Cycles.enumerate (g_of edges) = [])
+
+let prop_scc_vs_johnson =
+  QCheck.Test.make ~name:"SCC cyclicity iff Johnson finds a cycle"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_bound 10)
+           (pair (oneofl [ "a"; "b"; "c"; "d" ]) (oneofl [ "a"; "b"; "c"; "d" ]))))
+    (fun edges ->
+      let g = g_of edges in
+      Scc.is_acyclic g = (Cycles.enumerate g = []))
+
+let suite =
+  [
+    Alcotest.test_case "digraph basics" `Quick test_digraph_basics;
+    Alcotest.test_case "transpose/reachable" `Quick test_transpose_reachable;
+    Alcotest.test_case "strongly connected components" `Quick test_scc;
+    Alcotest.test_case "cycle enumeration" `Quick test_cycle_enumeration;
+    Alcotest.test_case "cycle limit" `Quick test_cycle_limit;
+    Alcotest.test_case "labels along cycles" `Quick test_labels_along_cycle;
+    Alcotest.test_case "dot export" `Quick test_dot;
+    QCheck_alcotest.to_alcotest prop_dag_no_cycles;
+    QCheck_alcotest.to_alcotest prop_scc_vs_johnson;
+  ]

@@ -1,0 +1,78 @@
+(* Message-sequence-chart rendering. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_parse () =
+  let events =
+    Sim.Msc.parse_trace
+      [
+        "issue store node0 addr0";
+        "deliver readex 0->-1 (reqq)";
+        "deliver mread -1->-2 (memq)";
+        "deliver datax -1->0 (resp) addr0";
+        "reissue node1 addr0";
+        "garbage line";
+      ]
+  in
+  check_int "parsed events" 5 (List.length events);
+  (match List.nth events 1 with
+  | Sim.Msc.Message { msg = "readex"; src = Sim.Msc.Node 0; dst = Sim.Msc.Directory; cls = "reqq" } -> ()
+  | _ -> Alcotest.fail "readex delivery misparsed");
+  match List.nth events 2 with
+  | Sim.Msc.Message { src = Sim.Msc.Directory; dst = Sim.Msc.Memory; _ } -> ()
+  | _ -> Alcotest.fail "negative endpoints misparsed"
+
+let test_participants_order () =
+  let events =
+    Sim.Msc.parse_trace
+      [ "deliver mread -1->-2 (memq)"; "deliver readex 2->-1 (reqq)";
+        "deliver data -1->0 (resp)" ]
+  in
+  Alcotest.(check (list string)) "nodes, then dir, then mem"
+    [ "node0"; "node2"; "dir"; "mem" ]
+    (List.map Sim.Msc.participant_label (Sim.Msc.participants events))
+
+let test_figure2_chart () =
+  let _, trace = Sim.Scenario.readex_walkthrough Checker.Vcassign.debugged in
+  let chart = Sim.Msc.render_run trace in
+  check "shows the request" true (contains chart "readex");
+  check "shows the invalidations" true (contains chart "sinv");
+  check "shows the grant" true (contains chart "datax");
+  check "shows the completion ack" true (contains chart "compl (ackq)");
+  check "has lifelines" true (contains chart "|");
+  (* readex appears before sinv, which appears before datax *)
+  let pos needle =
+    let rec go i =
+      if i + String.length needle > String.length chart then -1
+      else if String.sub chart i (String.length needle) = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  check "causal order" true (pos "readex" < pos "sinv" && pos "sinv" < pos "datax")
+
+let test_latex_form () =
+  let _, trace = Sim.Scenario.figure4 Checker.Vcassign.with_vc4 in
+  let tex = Sim.Msc.to_latex ~title:"figure4" (Sim.Msc.parse_trace trace) in
+  check "picture environment" true (contains tex "\\begin{picture}");
+  check "vectors for messages" true (contains tex "\\vector");
+  check "balanced end" true (contains tex "\\end{picture}")
+
+let test_empty_trace () =
+  check "empty trace renders" true
+    (String.length (Sim.Msc.render_run [ "nonsense" ]) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "trace parsing" `Quick test_parse;
+    Alcotest.test_case "participant ordering" `Quick test_participants_order;
+    Alcotest.test_case "figure 2 chart" `Quick test_figure2_chart;
+    Alcotest.test_case "latex form" `Quick test_latex_form;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace;
+  ]

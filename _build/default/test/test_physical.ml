@@ -1,0 +1,134 @@
+(* Hash indexes and the physical planner. *)
+
+open Relalg
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let db = lazy (Protocol.database ())
+let store = lazy (Physical.make_store (Lazy.force db))
+let d_indexes = [ "D", "inmsg"; "D", "bdirst" ]
+
+(* ------------------------------- index ------------------------------ *)
+
+let test_index_lookup () =
+  let d = Protocol.Dir_controller.table () in
+  let idx = Index.build d "inmsg" in
+  let readex = Index.lookup idx (Value.str "readex") in
+  check "finds readex rows" true (List.length readex > 10);
+  check "rows actually match" true
+    (List.for_all
+       (fun row -> Value.equal (Table.cell d row "inmsg") (Value.str "readex"))
+       readex);
+  check_int "misses return nothing" 0
+    (List.length (Index.lookup idx (Value.str "nosuchmsg")));
+  check "index is consistent with its table" true (Index.consistent idx d)
+
+let test_index_order_preserved () =
+  let t =
+    Table.of_rows ~name:"ord"
+      (Schema.of_list [ "k"; "v" ])
+      (List.map Row.strings [ [ "a"; "1" ]; [ "b"; "9" ]; [ "a"; "2" ]; [ "a"; "3" ] ])
+  in
+  let idx = Index.build t "k" in
+  Alcotest.(check (list string)) "table order within a bucket"
+    [ "1"; "2"; "3" ]
+    (List.map (fun r -> Value.to_string r.(1)) (Index.lookup idx (Value.str "a")))
+
+let prop_index_agrees_with_scan =
+  QCheck.Test.make ~count:100 ~name:"index lookup = select scan"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_bound 20)
+              (pair (oneofl [ "a"; "b"; "c"; "d" ]) (oneofl [ "1"; "2"; "3" ])))
+           (oneofl [ "a"; "b"; "c"; "d"; "zz" ])))
+    (fun (rows, probe) ->
+      let t =
+        Table.of_rows ~name:"q"
+          (Schema.of_list [ "k"; "v" ])
+          (List.map (fun (k, v) -> Row.strings [ k; v ]) rows)
+      in
+      let idx = Index.build t "k" in
+      let via_index = Index.lookup idx (Value.str probe) in
+      let via_scan = Table.rows (Ops.select (Expr.eq "k" probe) t) in
+      List.length via_index = List.length via_scan
+      && List.for_all2 Row.equal via_index via_scan)
+
+(* --------------------------- physical plans ------------------------- *)
+
+let test_physicalize_chooses_index () =
+  let logical =
+    Plan.of_query
+      (Sql_parser.parse_query
+         "SELECT * FROM D WHERE inmsg = 'readex' AND dirst = 'SI'")
+  in
+  match Physical.physicalize ~indexes:d_indexes logical with
+  | Physical.Access (Physical.Index_lookup { table = "D"; column = "inmsg"; residual = Some _; _ }) -> ()
+  | p -> Alcotest.fail ("expected index lookup:\n" ^ Physical.explain p)
+
+let test_physicalize_without_index () =
+  let logical =
+    Plan.of_query (Sql_parser.parse_query "SELECT * FROM D WHERE dirst = 'SI'")
+  in
+  match Physical.physicalize ~indexes:d_indexes logical with
+  | Physical.Select (_, Physical.Access (Physical.Seq_scan "D")) -> ()
+  | p -> Alcotest.fail ("expected seq scan:\n" ^ Physical.explain p)
+
+let physical_queries =
+  [
+    "SELECT * FROM D WHERE inmsg = 'readex'";
+    "SELECT DISTINCT locmsg FROM D WHERE inmsg = 'readex' AND bdirlookup = 'hit'";
+    "SELECT inmsg, bdirst FROM D WHERE bdirst = 'Busy-readex-sd'";
+    "SELECT COUNT(*) FROM D WHERE inmsg = 'wb' AND locmsg = 'compl'";
+    "SELECT DISTINCT inmsg FROM D WHERE inmsg = 'read' UNION SELECT DISTINCT inmsg FROM D WHERE inmsg = 'wb'";
+  ]
+
+let test_physical_agrees_with_executor () =
+  List.iter
+    (fun q ->
+      let via_phys =
+        Physical.run ~indexes:d_indexes (Lazy.force store) q
+      in
+      let via_exec = Sql_exec.query (Lazy.force db) q in
+      check ("same result: " ^ q) true (Table.equal_as_sets via_phys via_exec))
+    physical_queries
+
+let test_store_caches_indexes () =
+  let store = Physical.make_store (Lazy.force db) in
+  let t0 = Sys.time () in
+  ignore (Physical.run ~indexes:d_indexes store "SELECT * FROM D WHERE inmsg = 'readex'");
+  let cold = Sys.time () -. t0 in
+  let t1 = Sys.time () in
+  for _ = 1 to 50 do
+    ignore (Physical.run ~indexes:d_indexes store "SELECT * FROM D WHERE inmsg = 'readex'")
+  done;
+  let warm_each = (Sys.time () -. t1) /. 50. in
+  (* warm lookups must not rebuild the index; allow generous slack *)
+  check "cache is effective" true (warm_each < cold +. 0.01)
+
+let test_explain_physical () =
+  let p =
+    Physical.physicalize ~indexes:d_indexes
+      (Plan.of_query (Sql_parser.parse_query "SELECT * FROM D WHERE inmsg = 'wb'"))
+  in
+  let s = Physical.explain p in
+  check "mentions index lookup" true
+    (let needle = "index lookup D.inmsg" in
+     let rec go i =
+       i + String.length needle <= String.length s
+       && (String.sub s i (String.length needle) = needle || go (i + 1))
+     in
+     go 0)
+
+let suite =
+  [
+    Alcotest.test_case "index lookup" `Quick test_index_lookup;
+    Alcotest.test_case "bucket order" `Quick test_index_order_preserved;
+    Alcotest.test_case "physicalize chooses index" `Quick test_physicalize_chooses_index;
+    Alcotest.test_case "physicalize falls back to scan" `Quick test_physicalize_without_index;
+    Alcotest.test_case "physical agrees with executor" `Quick test_physical_agrees_with_executor;
+    Alcotest.test_case "index cache" `Quick test_store_caches_indexes;
+    Alcotest.test_case "physical explain" `Quick test_explain_physical;
+    QCheck_alcotest.to_alcotest prop_index_agrees_with_scan;
+  ]

@@ -1,0 +1,262 @@
+(* Query plans, the optimizer, CSV interchange, COUNT. *)
+
+open Relalg
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let db =
+  Database.of_tables
+    [
+      Table.of_rows ~name:"T"
+        (Schema.of_list [ "a"; "b" ])
+        (List.map Row.strings
+           [ [ "x"; "1" ]; [ "x"; "2" ]; [ "y"; "1" ]; [ "z"; "3" ] ]);
+      Table.of_rows ~name:"U"
+        (Schema.of_list [ "a"; "b" ])
+        (List.map Row.strings [ [ "x"; "1" ]; [ "w"; "9" ] ]);
+    ]
+
+let q = Sql_parser.parse_query
+
+(* ------------------------------ plans ------------------------------- *)
+
+let test_translation () =
+  match Plan.of_query (q "SELECT DISTINCT a FROM T WHERE b = '1'") with
+  | Plan.Distinct (Plan.Project ([ "a" ], Plan.Select (_, Plan.Scan "T"))) -> ()
+  | p -> Alcotest.fail ("unexpected plan: " ^ Plan.explain p)
+
+let test_simplify_predicate () =
+  let s = Plan.simplify_predicate in
+  check "x and true = x" true
+    (s Expr.(And (eq "a" "x", True)) = Expr.eq "a" "x");
+  check "x or true = true" true (s Expr.(Or (eq "a" "x", True)) = Expr.True);
+  check "constant fold eq" true
+    (s (Expr.Eq (Expr.s "p", Expr.s "p")) = Expr.True);
+  check "constant fold neq" true
+    (s (Expr.Neq (Expr.s "p", Expr.s "q")) = Expr.True);
+  check "double negation" true
+    (s (Expr.Not (Expr.Not (Expr.eq "a" "x"))) = Expr.eq "a" "x");
+  check "empty IN is false" true (s (Expr.In (Expr.Col "a", [])) = Expr.False);
+  check "singleton IN becomes eq" true
+    (s (Expr.isin "a" [ "x" ]) = Expr.eq "a" "x");
+  check "constant ternary collapses" true
+    (s (Expr.Ternary (Expr.True, Expr.eq "a" "x", Expr.False)) = Expr.eq "a" "x")
+
+let test_optimizer_rules () =
+  (* select false collapses branches whose schema is statically known *)
+  (match
+     Plan.optimize
+       (Plan.Select (Expr.False, Plan.Project ([ "a" ], Plan.Scan "T")))
+   with
+  | Plan.Empty [ "a" ] -> ()
+  | p -> Alcotest.fail ("expected empty: " ^ Plan.explain p));
+  (* over a bare scan the schema is unknown: the selection stays *)
+  (match Plan.optimize (Plan.Select (Expr.False, Plan.Scan "T")) with
+  | Plan.Select (Expr.False, Plan.Scan "T") -> ()
+  | p -> Alcotest.fail ("expected kept select: " ^ Plan.explain p));
+  (* adjacent selects merge *)
+  (match
+     Plan.optimize
+       (Plan.Select (Expr.eq "a" "x", Plan.Select (Expr.eq "b" "1", Plan.Scan "T")))
+   with
+  | Plan.Select (Expr.And _, Plan.Scan "T") -> ()
+  | p -> Alcotest.fail ("expected merged select: " ^ Plan.explain p));
+  (* select pushes below project *)
+  match
+    Plan.optimize
+      (Plan.Select (Expr.eq "a" "x", Plan.Project ([ "a" ], Plan.Scan "T")))
+  with
+  | Plan.Project ([ "a" ], Plan.Select (_, Plan.Scan "T")) -> ()
+  | p -> Alcotest.fail ("expected pushed select: " ^ Plan.explain p)
+
+let queries =
+  [
+    "SELECT a FROM T WHERE b = '1'";
+    "SELECT DISTINCT a FROM T";
+    "SELECT a, b FROM T WHERE a = 'x' AND b = '2'";
+    "SELECT a FROM T WHERE a = 'x' UNION SELECT a FROM U";
+    "SELECT a FROM T EXCEPT SELECT a FROM U WHERE b = '9'";
+    "SELECT a FROM T WHERE a = 'nosuch' UNION SELECT a FROM U";
+    "SELECT a FROM T INTERSECT SELECT a FROM U";
+    "SELECT * FROM T WHERE NOT (a = 'x' OR b = '3')";
+    "SELECT a FROM T WHERE a IN ('x')";
+    "SELECT COUNT(*) FROM T WHERE a = 'x'";
+  ]
+
+let test_optimizer_preserves_semantics () =
+  List.iter
+    (fun src ->
+      let direct = Plan.run ~optimize:false db src in
+      let optimized = Plan.run ~optimize:true db src in
+      check ("same result: " ^ src) true
+        (Table.equal_as_sets direct optimized))
+    queries
+
+let test_plan_matches_executor () =
+  List.iter
+    (fun src ->
+      check ("plan = executor: " ^ src) true
+        (Table.equal_as_sets (Plan.run db src) (Sql_exec.query db src)))
+    queries
+
+let test_explain () =
+  let s = Plan.explain (Plan.of_query (q "SELECT DISTINCT a FROM T WHERE b = '1'")) in
+  check "multi-line tree" true (List.length (String.split_on_char '\n' s) >= 4)
+
+(* random plans: optimize must preserve results *)
+let pred_gen =
+  QCheck.Gen.(
+    let atom =
+      oneof
+        [
+          map2 (fun c v -> Expr.eq c v) (oneofl [ "a"; "b" ]) (oneofl [ "x"; "1"; "q" ]);
+          return Expr.True;
+          return Expr.False;
+        ]
+    in
+    sized @@ fix (fun self n ->
+        if n = 0 then atom
+        else
+          frequency
+            [
+              3, atom;
+              1, map2 (fun a b -> Expr.And (a, b)) (self (n / 2)) (self (n / 2));
+              1, map2 (fun a b -> Expr.Or (a, b)) (self (n / 2)) (self (n / 2));
+              1, map (fun a -> Expr.Not a) (self (n / 2));
+            ]))
+
+let plan_gen =
+  QCheck.Gen.(
+    let base = oneofl [ Plan.Scan "T"; Plan.Scan "U" ] in
+    sized @@ fix (fun self n ->
+        if n = 0 then base
+        else
+          frequency
+            [
+              2, base;
+              2, map2 (fun e p -> Plan.Select (e, p)) pred_gen (self (n / 2));
+              1, map (fun p -> Plan.Distinct p) (self (n / 2));
+              1, map (fun p -> Plan.Project ([ "a" ], p)) (self (n / 2));
+              1, map2 (fun a b -> Plan.Union (a, b)) (self (n / 2)) (self (n / 2));
+              1, map2 (fun a b -> Plan.Except (a, b)) (self (n / 2)) (self (n / 2));
+            ]))
+
+let prop_optimize_sound =
+  QCheck.Test.make ~count:300 ~name:"optimize preserves plan semantics"
+    (QCheck.make plan_gen ~print:Plan.explain)
+    (fun p ->
+      (* random Union/Except operands may have incompatible schemas after
+         a Project: treat those as trivially passing *)
+      match Plan.execute db p with
+      | direct ->
+          Table.equal_as_sets direct (Plan.execute db (Plan.optimize p))
+      | exception Ops.Incompatible_schemas _ -> true
+      | exception Schema.Unknown_column _ -> true)
+
+(* ------------------------------- count ------------------------------ *)
+
+let test_count () =
+  let t = Sql_exec.query db "SELECT COUNT(*) FROM T WHERE a = 'x'" in
+  check_int "one row" 1 (Table.cardinality t);
+  check "count value" true
+    (Value.equal (List.hd (Table.rows t)).(0) (Value.Int 2));
+  let zero = Sql_exec.query db "SELECT COUNT(*) FROM T WHERE a = 'none'" in
+  check "count zero" true
+    (Value.equal (List.hd (Table.rows zero)).(0) (Value.Int 0))
+
+let test_group_by () =
+  let t = Sql_exec.query db "SELECT a, COUNT(*) FROM T GROUP BY a" in
+  check_int "three groups" 3 (Table.cardinality t);
+  check_int "three columns?" 2 (Table.arity t);
+  let count_of key =
+    List.find_map
+      (fun row ->
+        if Value.equal row.(0) (Value.str key) then
+          match row.(1) with Value.Int n -> Some n | _ -> None
+        else None)
+      (Table.rows t)
+  in
+  Alcotest.(check (option int)) "x appears twice" (Some 2) (count_of "x");
+  Alcotest.(check (option int)) "z appears once" (Some 1) (count_of "z");
+  (* with a WHERE clause *)
+  let t = Sql_exec.query db "SELECT a, COUNT(*) FROM T WHERE b = '1' GROUP BY a" in
+  check_int "filtered groups" 2 (Table.cardinality t);
+  (* planner and physical agree *)
+  let q = "SELECT a, COUNT(*) FROM T WHERE NOT a = 'z' GROUP BY a" in
+  check "plan agrees" true
+    (Table.equal_as_sets (Plan.run db q) (Sql_exec.query db q));
+  check "mismatched keys rejected" true
+    (try
+       ignore (Sql_parser.parse_query "SELECT a, COUNT(*) FROM T GROUP BY b");
+       false
+     with Sql_parser.Parse_error _ -> true)
+
+(* -------------------------------- csv ------------------------------- *)
+
+let test_csv_roundtrip () =
+  let t =
+    Table.of_rows ~name:"R"
+      (Schema.of_list [ "m"; "n"; "note" ])
+      [
+        [| Value.str "readex"; Value.Int 3; Value.str "plain" |];
+        [| Value.Null; Value.Int (-1); Value.str "has,comma" |];
+        [| Value.Bool true; Value.Int 0; Value.str "quote\"inside" |];
+      ]
+  in
+  let back = Csv.of_string ~name:"R" (Csv.to_string t) in
+  check "roundtrip" true (Table.equal_as_sets t back);
+  check "schema preserved" true (Schema.equal (Table.schema t) (Table.schema back))
+
+let test_csv_null_conventions () =
+  let t = Csv.of_string ~name:"x" "a,b\nNULL,plain\n,quoted\n" in
+  let rows = Table.rows t in
+  check "NULL literal" true (Value.is_null (List.hd rows).(0));
+  check "empty cell is null" true (Value.is_null (List.nth rows 1).(0))
+
+let test_csv_errors () =
+  check "ragged row" true
+    (try ignore (Csv.of_string ~name:"x" "a,b\n1\n"); false
+     with Csv.Csv_error _ -> true);
+  check "unterminated quote" true
+    (try ignore (Csv.of_string ~name:"x" "a\n\"oops\n"); false
+     with Csv.Csv_error _ -> true)
+
+let test_csv_on_controller_table () =
+  let d = Protocol.Dir_controller.table () in
+  let back = Csv.of_string ~name:"D" (Csv.to_string d) in
+  check "D roundtrips through csv" true (Table.equal_as_sets d back)
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"csv roundtrips arbitrary cell content"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 5)
+           (oneofl
+              [ "plain"; "with,comma"; "with\"quote"; "multi\nline"; "NULL"; "" ])))
+    (fun cells ->
+      let t =
+        Table.of_rows ~name:"q"
+          (Schema.of_list
+             (List.mapi (fun i _ -> Printf.sprintf "c%d" i) cells))
+          [ Row.strings cells ]
+      in
+      Table.equal_as_sets t (Csv.of_string ~name:"q" (Csv.to_string t)))
+
+let suite =
+  [
+    Alcotest.test_case "query translation" `Quick test_translation;
+    Alcotest.test_case "predicate simplification" `Quick test_simplify_predicate;
+    Alcotest.test_case "optimizer rules" `Quick test_optimizer_rules;
+    Alcotest.test_case "optimizer preserves semantics" `Quick test_optimizer_preserves_semantics;
+    Alcotest.test_case "plan matches executor" `Quick test_plan_matches_executor;
+    Alcotest.test_case "explain output" `Quick test_explain;
+    Alcotest.test_case "count(*)" `Quick test_count;
+    Alcotest.test_case "group by count" `Quick test_group_by;
+    Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv null conventions" `Quick test_csv_null_conventions;
+    Alcotest.test_case "csv errors" `Quick test_csv_errors;
+    Alcotest.test_case "csv on the D table" `Quick test_csv_on_controller_table;
+    QCheck_alcotest.to_alcotest prop_optimize_sound;
+    QCheck_alcotest.to_alcotest prop_csv_roundtrip;
+  ]

@@ -1,0 +1,226 @@
+(* The ASURA protocol model: messages, states, topology, controller
+   generation. *)
+
+open Protocol
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_message_inventory () =
+  check "about 50 messages" true (List.length Message.all >= 45);
+  List.iter
+    (fun name ->
+      check ("paper message " ^ name) true (Message.find name <> None))
+    [ "readex"; "wb"; "sinv"; "mread"; "data"; "idone"; "compl"; "retry";
+      "dfdback" ];
+  check "names unique" true
+    (let names = List.map (fun m -> m.Message.name) Message.all in
+     List.length (List.sort_uniq compare names) = List.length names)
+
+let test_message_classification () =
+  check "readex is a request" true (Message.is_request "readex");
+  check "data is a response" true (Message.is_response "data");
+  check "nothing is both" true
+    (List.for_all
+       (fun m ->
+         Message.is_request m.Message.name <> Message.is_response m.Message.name)
+       Message.all);
+  check "unknown name" false (Message.is_request "bogus")
+
+let test_message_directions () =
+  check "local requests go local->home" true
+    (List.for_all
+       (fun n ->
+         let m = Message.find_exn n in
+         m.Message.src = Topology.Local && m.Message.dst = Topology.Home)
+       Message.local_requests);
+  check "snoops go home->remote" true
+    (List.for_all
+       (fun n -> (Message.find_exn n).Message.dst = Topology.Remote)
+       Message.snoop_requests);
+  check_int "memory path has both directions"
+    (List.length Message.memory_requests + List.length Message.memory_responses)
+    (List.length (List.filter (fun m -> m.Message.category = Message.Mem) Message.all))
+
+let test_states () =
+  check_int "MESI has four states" 4 (List.length State.all_cache_states);
+  check_str "busy encoding" "Busy-readex-sd"
+    (State.busy_to_string { State.txn = State.T_readex; pending = State.Sd });
+  check "busy roundtrip" true
+    (List.for_all
+       (fun b -> State.busy_of_string (State.busy_to_string b) = Some b)
+       State.all_busy_states);
+  check "about 40-60 busy states" true
+    (let n = List.length State.all_busy_states in
+     n >= 39 && n <= 70);
+  check_int "bdir domain adds I" (List.length State.all_busy_states + 1)
+    (List.length State.bdir_domain)
+
+let test_pv_ops () =
+  let module S = State in
+  Alcotest.(check (option string)) "inc zero" (Some "one") (S.apply_pv_op "inc" "zero");
+  Alcotest.(check (option string)) "inc one" (Some "gone") (S.apply_pv_op "inc" "one");
+  Alcotest.(check (option string)) "dec one" (Some "zero") (S.apply_pv_op "dec" "one");
+  Alcotest.(check (option string)) "dec gone stays abstract" (Some "gone")
+    (S.apply_pv_op "dec" "gone");
+  Alcotest.(check (option string)) "dec zero illegal" None (S.apply_pv_op "dec" "zero");
+  Alcotest.(check (option string)) "repl" (Some "one") (S.apply_pv_op "repl" "gone")
+
+let test_placements () =
+  check_int "five placements" 5 (List.length Topology.all_placements);
+  check "same quad reflexive" true
+    (List.for_all
+       (fun p ->
+         List.for_all
+           (fun c -> Topology.same_quad p c c)
+           Topology.all_node_classes)
+       Topology.all_placements);
+  check "L<>H=R merges home/remote" true
+    (Topology.same_quad Topology.Hr_same Topology.Home Topology.Remote);
+  check "L<>H=R separates local" false
+    (Topology.same_quad Topology.Hr_same Topology.Local Topology.Home);
+  check_str "canon rewrites remote to home under L<>H=R" "home"
+    (Topology.canon_string Topology.Hr_same "remote");
+  check_str "canon under all-distinct is identity" "remote"
+    (Topology.canon_string Topology.All_distinct "remote");
+  check_str "non-role strings pass through" "VC2"
+    (Topology.canon_string Topology.All_same "VC2")
+
+let test_placement_canon_consistent () =
+  (* canon agrees with same_quad: same canon iff same quad *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              check "canon iff same_quad" true
+                (Topology.same_quad p a b
+                = (Topology.canon p a = Topology.canon p b)))
+            Topology.all_node_classes)
+        Topology.all_node_classes)
+    Topology.all_placements
+
+let test_concrete_placement () =
+  let sys = Topology.default_system in
+  check_int "64-ish processors: 16 nodes" 16 (Topology.node_count sys);
+  check "classify same quad" true
+    (Topology.placement_of sys ~local:0 ~home:1 ~remote:2 = Topology.All_same);
+  check "classify H=R" true
+    (Topology.placement_of sys ~local:0 ~home:5 ~remote:6 = Topology.Hr_same);
+  check "classify distinct" true
+    (Topology.placement_of sys ~local:0 ~home:5 ~remote:10
+    = Topology.All_distinct)
+
+let test_eight_controllers () =
+  check_int "eight controller tables" 8 (List.length Protocol.controllers);
+  let names = List.map (fun c -> Ctrl_spec.name c.Protocol.spec) Protocol.controllers in
+  Alcotest.(check (list string)) "names"
+    [ "D"; "M"; "C"; "N"; "RAC"; "IO"; "PIF"; "LK" ] names;
+  check "link excluded from deadlock analysis" true
+    (not (List.exists (fun c -> Ctrl_spec.name c.Protocol.spec = "LK")
+            Protocol.deadlock_controllers))
+
+let test_directory_table_shape () =
+  let d = Dir_controller.table () in
+  check_int "31 columns" 31 (Relalg.Table.arity d);
+  check "hundreds of rows" true (Relalg.Table.cardinality d > 500);
+  check "row count stable across calls" true
+    (Relalg.Table.cardinality d = Relalg.Table.cardinality (Dir_controller.table ()))
+
+let test_figure3 () =
+  let fig = Dir_controller.figure3 () in
+  let cell row col = Relalg.Table.cell fig row col in
+  let rows = Relalg.Table.rows fig in
+  (* the paper's opening row: readex against SI sends sinv and mread *)
+  let si_row =
+    List.find
+      (fun r ->
+        Relalg.Value.equal (cell r "inmsg") (Relalg.Value.str "readex")
+        && Relalg.Value.equal (cell r "dirst") (Relalg.Value.str "SI")
+        && Relalg.Value.equal (cell r "dirpv") (Relalg.Value.str "one"))
+      rows
+  in
+  check_str "snoop" "sinv" (Relalg.Value.to_string (cell si_row "remmsg"));
+  check_str "memory read" "mread" (Relalg.Value.to_string (cell si_row "memmsg"));
+  (* the Busy-sd interleavings from Figure 2 *)
+  check "busy-sd to busy-d on last idone" true
+    (List.exists
+       (fun r ->
+         Relalg.Value.equal (cell r "inmsg") (Relalg.Value.str "idone")
+         && Relalg.Value.equal (cell r "dirst") (Relalg.Value.str "Busy-readex-sd")
+         && Relalg.Value.equal (cell r "nxtdirst") (Relalg.Value.str "Busy-readex-d"))
+       rows);
+  check "busy-sd to busy-s on data" true
+    (List.exists
+       (fun r ->
+         Relalg.Value.equal (cell r "inmsg") (Relalg.Value.str "mdata")
+         && Relalg.Value.equal (cell r "dirst") (Relalg.Value.str "Busy-readex-sd")
+         && Relalg.Value.equal (cell r "nxtdirst") (Relalg.Value.str "Busy-readex-s"))
+       rows)
+
+let test_generation_strategies_agree_on_m () =
+  (* full incremental/monolithic agreement on a real (small) controller *)
+  let spec = Ctrl_spec.to_solver_spec Mem_controller.spec in
+  let a, _ = Relalg.Solver.generate spec in
+  let b, _ = Relalg.Solver.generate_monolithic spec in
+  check "M generated identically" true (Relalg.Table.equal_as_sets a b)
+
+let test_ctrl_spec_validation () =
+  let bad_scenario = { Ctrl_spec.label = "x"; when_ = [ "nosuch", Ctrl_spec.V "v" ]; emit = [] } in
+  check "unknown column rejected" true
+    (try
+       ignore (Ctrl_spec.with_scenarios Mem_controller.spec [ bad_scenario ]);
+       false
+     with Ctrl_spec.Invalid_controller _ -> true);
+  let bad_value =
+    { Ctrl_spec.label = "x"; when_ = [ "inmsg", Ctrl_spec.V "nosuchmsg" ]; emit = [] }
+  in
+  check "out-of-domain value rejected" true
+    (try
+       ignore (Ctrl_spec.with_scenarios Mem_controller.spec [ bad_value ]);
+       false
+     with Ctrl_spec.Invalid_controller _ -> true)
+
+let test_constraint_rendering () =
+  let listing = Ctrl_spec.constraints_listing Mem_controller.spec in
+  check "lists each column" true
+    (List.for_all
+       (fun c ->
+         let re = c ^ ":" in
+         let rec contains i =
+           i + String.length re <= String.length listing
+           && (String.sub listing i (String.length re) = re || contains (i + 1))
+         in
+         contains 0)
+       (Ctrl_spec.input_columns Mem_controller.spec))
+
+let test_scenario_editing () =
+  let spec' = Ctrl_spec.drop_scenario Mem_controller.spec "mread-ok" in
+  check_int "one fewer scenario"
+    (List.length (Ctrl_spec.scenarios Mem_controller.spec) - 1)
+    (List.length (Ctrl_spec.scenarios spec'));
+  let tbl, _ = Ctrl_spec.generate spec' in
+  check "dropped scenario removes rows" true
+    (Relalg.Table.cardinality tbl
+    < Relalg.Table.cardinality (Mem_controller.table ()))
+
+let suite =
+  [
+    Alcotest.test_case "message inventory" `Quick test_message_inventory;
+    Alcotest.test_case "request/response classification" `Quick test_message_classification;
+    Alcotest.test_case "message directions" `Quick test_message_directions;
+    Alcotest.test_case "state encodings" `Quick test_states;
+    Alcotest.test_case "presence-vector ops" `Quick test_pv_ops;
+    Alcotest.test_case "quad placements" `Quick test_placements;
+    Alcotest.test_case "canon vs same_quad" `Quick test_placement_canon_consistent;
+    Alcotest.test_case "concrete placements" `Quick test_concrete_placement;
+    Alcotest.test_case "eight controllers" `Quick test_eight_controllers;
+    Alcotest.test_case "directory table shape" `Quick test_directory_table_shape;
+    Alcotest.test_case "figure 3 rows" `Quick test_figure3;
+    Alcotest.test_case "strategies agree on M" `Quick test_generation_strategies_agree_on_m;
+    Alcotest.test_case "spec validation" `Quick test_ctrl_spec_validation;
+    Alcotest.test_case "constraint rendering" `Quick test_constraint_rendering;
+    Alcotest.test_case "scenario editing" `Quick test_scenario_editing;
+  ]

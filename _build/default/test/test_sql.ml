@@ -1,0 +1,146 @@
+(* The SQL front end: lexer, parser, executor. *)
+
+open Relalg
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let db =
+  let d =
+    Table.of_rows ~name:"D"
+      (Schema.of_list [ "inmsg"; "dirst"; "dirpv"; "locmsg" ])
+      (List.map Row.strings
+         [
+           [ "readex"; "SI"; "one"; "-" ];
+           [ "readex"; "SI"; "gone"; "-" ];
+           [ "readex"; "I"; "zero"; "-" ];
+           [ "idone"; "Busy"; "one"; "datax" ];
+         ])
+  in
+  (* replace the "-" placeholders with real NULLs *)
+  let d =
+    Table.map_rows
+      (fun r ->
+        Array.map (fun v -> if Value.equal v (Value.str "-") then Value.Null else v) r)
+      d
+  in
+  let db = Database.add Database.empty d in
+  Database.register_function db "isrequest" (fun v ->
+      Value.equal v (Value.str "readex"))
+
+let q src = Sql_exec.query db src
+
+let test_lexer () =
+  let toks = Sql_lexer.tokenize "SELECT a, b FROM t WHERE a = 'x y'" in
+  check_int "token count" 11 (List.length toks);
+  check "keywords case-insensitive" true
+    (Sql_lexer.tokenize "select" = Sql_lexer.tokenize "SELECT");
+  check "double-quoted accepted" true
+    (List.mem (Sql_lexer.STRING "MESI") (Sql_lexer.tokenize "x = \"MESI\""));
+  check "escaped quote" true
+    (List.mem (Sql_lexer.STRING "o'brien") (Sql_lexer.tokenize "'o''brien'"));
+  check "lex error" true
+    (try ignore (Sql_lexer.tokenize "a @ b"); false
+     with Sql_lexer.Lex_error _ -> true)
+
+let test_select_where () =
+  check_int "filter by literal" 3
+    (Table.cardinality (q "SELECT inmsg FROM D WHERE inmsg = 'readex'"));
+  check_int "in list" 2
+    (Table.cardinality (q "SELECT dirpv FROM D WHERE dirpv IN ('one')"));
+  check_int "neq" 1
+    (Table.cardinality (q "SELECT inmsg FROM D WHERE NOT inmsg = 'readex'"));
+  check_int "star" 4 (Table.cardinality (q "SELECT * FROM D"))
+
+let test_distinct () =
+  check_int "distinct collapses" 1
+    (Table.cardinality (q "SELECT DISTINCT inmsg FROM D WHERE inmsg = 'readex'"))
+
+let test_null_and_functions () =
+  check_int "null comparison" 3
+    (Table.cardinality (q "SELECT inmsg FROM D WHERE locmsg = NULL"));
+  check_int "registered function" 3
+    (Table.cardinality (q "SELECT inmsg FROM D WHERE isrequest(inmsg)"))
+
+let test_ternary_where () =
+  (* the paper's constraint syntax is usable in WHERE clauses: readex rows
+     must be in SI (2 rows), all other rows must have pv one (1 row) *)
+  check_int "ternary" 3
+    (Table.cardinality
+       (q "SELECT inmsg FROM D WHERE inmsg = 'readex' ? dirst = 'SI' : dirpv = 'one'"));
+  check_int "ternary excludes readex at I" 0
+    (Table.cardinality
+       (q "SELECT inmsg FROM D WHERE dirst = 'I' AND (inmsg = 'readex' ? dirst = 'SI' : dirpv = 'one')"))
+
+let test_set_operators () =
+  check_int "union" 2
+    (Table.cardinality
+       (q "SELECT DISTINCT inmsg FROM D UNION SELECT DISTINCT inmsg FROM D WHERE inmsg = 'idone'"));
+  check_int "except" 1
+    (Table.cardinality
+       (q "SELECT DISTINCT inmsg FROM D EXCEPT SELECT inmsg FROM D WHERE inmsg = 'readex'"));
+  check_int "intersect" 1
+    (Table.cardinality
+       (q "SELECT DISTINCT inmsg FROM D INTERSECT SELECT inmsg FROM D WHERE isrequest(inmsg)"))
+
+let test_create_insert_drop () =
+  let db, _ = Sql_exec.exec db "CREATE TABLE V AS SELECT DISTINCT inmsg FROM D" in
+  check_int "create table as" 2 (Table.cardinality (Database.find db "V"));
+  let db, _ = Sql_exec.exec db "INSERT INTO V VALUES ('wb'), ('flush')" in
+  check_int "insert" 4 (Table.cardinality (Database.find db "V"));
+  let db, _ = Sql_exec.exec db "DROP TABLE V" in
+  check "dropped" false (Database.mem db "V")
+
+let test_is_empty () =
+  check "violating query empty" true
+    (Sql_exec.is_empty db
+       "SELECT dirst FROM D WHERE dirst = 'SI' AND NOT dirpv IN ('one','gone')");
+  check "non-empty detected" false
+    (Sql_exec.is_empty db "SELECT dirst FROM D WHERE dirst = 'SI'")
+
+let test_errors () =
+  check "unknown table" true
+    (try ignore (q "SELECT a FROM nosuch"); false
+     with Sql_exec.Exec_error _ -> true);
+  check "parse error" true
+    (try ignore (Sql_parser.parse_query "SELECT FROM"); false
+     with Sql_parser.Parse_error _ -> true);
+  check "trailing garbage" true
+    (try ignore (Sql_parser.parse_query "SELECT a FROM t t t"); false
+     with Sql_parser.Parse_error _ -> true)
+
+let test_parse_predicate () =
+  let p = Sql_parser.parse_predicate "a = 'x' AND NOT b IN ('y','z')" in
+  Alcotest.(check (list string)) "columns" [ "a"; "b" ] (Expr.free_columns p)
+
+let roundtrip_queries =
+  [
+    "SELECT inmsg FROM D WHERE dirst = 'SI' AND dirpv = 'one'";
+    "SELECT DISTINCT inmsg, dirst FROM D";
+    "SELECT * FROM D WHERE NOT (inmsg = 'wb' OR dirst = 'I')";
+  ]
+
+let test_reparse_stability () =
+  (* parse, print, reparse: same result table *)
+  List.iter
+    (fun src ->
+      let once = q src in
+      let printed = Format.asprintf "%a" Sql_ast.pp_query (Sql_parser.parse_query src) in
+      let twice = q printed in
+      check ("roundtrip " ^ src) true (Table.equal_as_sets once twice))
+    roundtrip_queries
+
+let suite =
+  [
+    Alcotest.test_case "lexer" `Quick test_lexer;
+    Alcotest.test_case "select/where" `Quick test_select_where;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "null and functions" `Quick test_null_and_functions;
+    Alcotest.test_case "ternary in where" `Quick test_ternary_where;
+    Alcotest.test_case "set operators" `Quick test_set_operators;
+    Alcotest.test_case "create/insert/drop" `Quick test_create_insert_drop;
+    Alcotest.test_case "emptiness checks" `Quick test_is_empty;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "parse predicate" `Quick test_parse_predicate;
+    Alcotest.test_case "print/reparse stability" `Quick test_reparse_stability;
+  ]

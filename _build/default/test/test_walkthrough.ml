@@ -1,0 +1,50 @@
+(* Executed transaction walkthroughs for the design document. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let walkthroughs = lazy (Sim.Walkthrough.all ())
+
+let find name =
+  List.find (fun (w : Sim.Walkthrough.t) -> w.name = name) (Lazy.force walkthroughs)
+
+let test_all_complete () =
+  check_int "seven representative transactions" 7
+    (List.length (Lazy.force walkthroughs));
+  List.iter
+    (fun (w : Sim.Walkthrough.t) ->
+      check (w.name ^ " produced a trace") true (w.trace <> []);
+      check (w.name ^ " produced a chart") true (String.length w.chart > 0))
+    (Lazy.force walkthroughs)
+
+let test_transaction_content () =
+  check "read miss fetches memory" true
+    (contains (find "read miss").chart "mread");
+  check "store miss invalidates" true
+    (contains (find "store miss with invalidations").chart "sinv");
+  check "upgrade moves no data" false
+    (contains (find "ownership upgrade").chart "mread");
+  check "writeback reaches memory" true
+    (contains (find "writeback").chart "mwrite");
+  check "dirty read uses the sharing writeback" true
+    (contains (find "read from a dirty owner").chart "mupdate");
+  check "io served by the device bus" true
+    (contains (find "uncached I/O read").chart "mioread");
+  check "lock grant" true (contains (find "lock handoff").chart "lockgrant")
+
+let test_markdown () =
+  let md = Sim.Walkthrough.to_markdown (Lazy.force walkthroughs) in
+  check "has section headers" true (contains md "### read miss");
+  check "charts fenced" true (contains md "```")
+
+let suite =
+  [
+    Alcotest.test_case "all transactions complete" `Quick test_all_complete;
+    Alcotest.test_case "transaction content" `Quick test_transaction_content;
+    Alcotest.test_case "markdown rendering" `Quick test_markdown;
+  ]
