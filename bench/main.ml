@@ -95,6 +95,7 @@ let run_benchmarks () =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None
       ~stabilize:false ()
   in
+  let measurements = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -106,12 +107,58 @@ let run_benchmarks () =
             | Some (x :: _) -> x
             | _ -> nan
           in
+          measurements := (name, ns) :: !measurements;
           Printf.printf "%-28s %12.3f ms/run\n%!" name (ns /. 1e6))
         analyzed)
-    benchmarks
+    benchmarks;
+  List.rev !measurements
+
+(* Machine-readable perf snapshot (BENCH_<date>.json, schema
+   asura-bench/1) so successive PRs can track the performance
+   trajectory without re-parsing the text output. *)
+let write_json measurements =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        "schema", Obs.Json.Str "asura-bench/1";
+        "date", Obs.Json.Str date;
+        "ocaml", Obs.Json.Str Sys.ocaml_version;
+        "word_size", Obs.Json.Int Sys.word_size;
+        ( "benchmarks",
+          Obs.Json.List
+            (List.map
+               (fun (name, ns) ->
+                 Obs.Json.Obj
+                   [
+                     "name", Obs.Json.Str name;
+                     "ns_per_run", Obs.Json.Float ns;
+                   ])
+               measurements) );
+      ]
+  in
+  let file = Printf.sprintf "BENCH_%s.json" date in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %d measurements to %s\n" (List.length measurements)
+    file
 
 let () =
+  let json = Array.exists (( = ) "--json") Sys.argv in
   Printf.printf "ASURA coherence-protocol design toolchain: benchmark suite\n";
-  Printf.printf "(reproduces every table/figure of the IPPS 2003 paper)\n";
-  Experiments.run_all ();
-  run_benchmarks ()
+  if json then begin
+    (* machine-readable mode: micro-benchmarks only, plus the snapshot *)
+    let measurements = run_benchmarks () in
+    write_json measurements
+  end
+  else begin
+    Printf.printf "(reproduces every table/figure of the IPPS 2003 paper)\n";
+    Experiments.run_all ();
+    ignore (run_benchmarks ())
+  end

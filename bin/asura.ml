@@ -8,6 +8,57 @@
 
 open Cmdliner
 
+(* ---------------------- observability & logging ----------------------- *)
+
+(* Every subcommand takes the same setup term: -v/-q (Logs verbosity),
+   --trace FILE (Chrome trace-event export) and --stats (span/metric
+   summary on stderr).  Tracing output is finalized in an at_exit hook so
+   commands that exit 1 on a failed verdict still write their trace. *)
+
+let obs_setup level trace_file stats =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level;
+  if trace_file <> None || stats then begin
+    Obs.Config.enable ();
+    at_exit (fun () ->
+        (match trace_file with
+        | Some file -> (
+            try
+              Obs.Trace.save file;
+              Logs.app (fun m ->
+                  m "wrote Chrome trace (%d events) to %s; load it in \
+                     chrome://tracing or https://ui.perfetto.dev"
+                    (List.length (Obs.Trace.events ()))
+                    file)
+            with Sys_error msg ->
+              Logs.err (fun m -> m "could not write trace: %s" msg))
+        | None -> ());
+        if stats then prerr_string (Obs.Report.render ()))
+  end
+
+let setup_term =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record monotonic-clock spans of every pipeline stage and \
+             write them as a Chrome trace-event JSON file (viewable in \
+             chrome://tracing or Perfetto).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print a span roll-up and all subsystem metric registries \
+             (solver pruning, join cardinalities, model-checker frontier, \
+             simulator queues) to standard error on exit.")
+  in
+  Term.(const obs_setup $ Logs_cli.level () $ trace_file $ stats)
+
 let list_tables () =
   List.iter
     (fun c ->
@@ -44,7 +95,7 @@ let generate_cmd =
       & info [ "c"; "constraints" ]
           ~doc:"Print the column constraints instead of the rows.")
   in
-  let run table constraints =
+  let run () table constraints =
     match table with
     | None -> list_tables ()
     | Some name -> show_table name constraints
@@ -54,7 +105,7 @@ let generate_cmd =
        ~doc:
          "Generate the eight controller tables from their column \
           constraints (paper section 3).")
-    Term.(const run $ table $ constraints)
+    Term.(const run $ setup_term $ table $ constraints)
 
 (* ---------------------------- invariants ----------------------------- *)
 
@@ -62,9 +113,9 @@ let invariants_cmd =
   let verbose =
     Arg.(
       value & flag
-      & info [ "v"; "verbose" ] ~doc:"Print every invariant, not only failures.")
+      & info [ "a"; "all" ] ~doc:"Print every invariant, not only failures.")
   in
-  let run verbose =
+  let run () verbose =
     let db = Protocol.database () in
     let results = Checker.Invariant.run_all db in
     let failures = Checker.Invariant.failures results in
@@ -84,7 +135,7 @@ let invariants_cmd =
   Cmd.v
     (Cmd.info "invariants"
        ~doc:"Check all protocol invariants with SQL (paper section 4.3).")
-    Term.(const run $ verbose)
+    Term.(const run $ setup_term $ verbose)
 
 (* ----------------------------- deadlock ------------------------------ *)
 
@@ -118,7 +169,7 @@ let deadlock_cmd =
       & info [ "narrative" ]
           ~doc:"Run all three assignments in the paper's order.")
   in
-  let run assignment dot narrative =
+  let run () assignment dot narrative =
     if narrative then
       List.iter
         (fun (desc, r) ->
@@ -135,7 +186,7 @@ let deadlock_cmd =
        ~doc:
          "Build the virtual-channel dependency graph and report cycles \
           (paper sections 4.1-4.2).")
-    Term.(const run $ assignment $ dot $ narrative)
+    Term.(const run $ setup_term $ assignment $ dot $ narrative)
 
 (* ------------------------------- map --------------------------------- *)
 
@@ -147,7 +198,7 @@ let map_cmd =
       & info [ "emit" ] ~docv:"TABLE"
           ~doc:"Emit generated Verilog for one implementation table.")
   in
-  let run emit =
+  let run () emit =
     let db = Mapping.Partition.run () in
     match emit with
     | Some name -> (
@@ -184,7 +235,7 @@ let map_cmd =
        ~doc:
          "Map the debugged directory table to the nine implementation \
           tables and verify the reconstruction (paper section 5).")
-    Term.(const run $ emit)
+    Term.(const run $ setup_term $ emit)
 
 (* ------------------------------ simulate ----------------------------- *)
 
@@ -209,7 +260,7 @@ let simulate_cmd =
       & info [ "msc" ]
           ~doc:"Render the trace as a message-sequence chart (the form of                 the paper's Figures 2 and 4).")
   in
-  let run scenario assignment msc_flag =
+  let run () scenario assignment msc_flag =
     let result, trace =
       match scenario with
       | `Figure4 -> Sim.Scenario.figure4 assignment
@@ -226,7 +277,7 @@ let simulate_cmd =
        ~doc:
          "Replay a scenario in the queue-accurate simulator (the Figure 4 \
           deadlock by default).")
-    Term.(const run $ scenario $ assignment $ msc)
+    Term.(const run $ setup_term $ scenario $ assignment $ msc)
 
 (* ------------------------------- mcheck ------------------------------ *)
 
@@ -243,7 +294,13 @@ let mcheck_cmd =
   let evictions =
     Arg.(value & flag & info [ "evictions" ] ~doc:"Include eviction operations.")
   in
-  let run nodes addrs max_states evictions =
+  let depth_profile =
+    Arg.(
+      value & flag
+      & info [ "depth-profile" ]
+          ~doc:"Print the per-depth expansion histogram of the BFS.")
+  in
+  let run () nodes addrs max_states evictions depth_profile =
     let ops =
       [ "load"; "store" ] @ if evictions then [ "evictmod"; "evictsh" ] else []
     in
@@ -252,6 +309,7 @@ let mcheck_cmd =
         { Mcheck.Semantics.nodes; addrs; ops; capacity = 3; io_addrs = []; lossy = false }
     in
     Format.printf "%a@." Mcheck.Explore.pp_result r;
+    if depth_profile then Format.printf "%a" Mcheck.Explore.pp_depth_profile r;
     match r.Mcheck.Explore.violation with
     | Some v ->
         List.iter print_endline v.Mcheck.Explore.trace;
@@ -263,7 +321,9 @@ let mcheck_cmd =
        ~doc:
          "Exhaustively model-check the table-driven protocol (the \
           Murphi-style baseline the paper compares against).")
-    Term.(const run $ nodes $ addrs $ max_states $ evictions)
+    Term.(
+      const run $ setup_term $ nodes $ addrs $ max_states $ evictions
+      $ depth_profile)
 
 (* -------------------------------- sql -------------------------------- *)
 
@@ -274,7 +334,7 @@ let sql_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"QUERY" ~doc:"A SQL query over the controller tables.")
   in
-  let run query =
+  let run () query =
     let db = Protocol.database () in
     print_string (Relalg.Table.to_string (Relalg.Sql_exec.query db query))
   in
@@ -283,9 +343,23 @@ let sql_cmd =
        ~doc:
          "Run a SQL query against the controller-table database, e.g. \
           \"SELECT inmsg, locmsg FROM D WHERE bdirlookup = 'hit'\".")
-    Term.(const run $ query)
+    Term.(const run $ setup_term $ query)
 
 (* ------------------------------ export ------------------------------- *)
+
+(* Resolve a table name: controller table, ED, or implementation table. *)
+let resolve_table name =
+  match Protocol.find name with
+  | Some c -> Protocol.Ctrl_spec.table c.Protocol.spec
+  | None ->
+      if name = "ED" then Mapping.Extend.ed ()
+      else
+        let db = Mapping.Partition.run () in
+        (match Relalg.Database.find_opt db name with
+        | Some t -> t
+        | None ->
+            Printf.eprintf "unknown table %s\n" name;
+            exit 1)
 
 let export_cmd =
   let table =
@@ -302,21 +376,8 @@ let export_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write CSV to this file instead of standard output.")
   in
-  let run table output =
-    let t =
-      match Protocol.find table with
-      | Some c -> Protocol.Ctrl_spec.table c.Protocol.spec
-      | None ->
-          if table = "ED" then Mapping.Extend.ed ()
-          else
-            let db = Mapping.Partition.run () in
-            (match Relalg.Database.find_opt db table with
-            | Some t -> t
-            | None ->
-                Printf.eprintf "unknown table %s
-" table;
-                exit 1)
-    in
+  let run () table output =
+    let t = resolve_table table in
     match output with
     | None -> print_string (Relalg.Csv.to_string t)
     | Some filename ->
@@ -328,7 +389,29 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export a generated table as CSV (SQL report generation).")
-    Term.(const run $ table $ output)
+    Term.(const run $ setup_term $ table $ output)
+
+(* ------------------------------- stats -------------------------------- *)
+
+let stats_cmd =
+  let table =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TABLE"
+          ~doc:"Controller table (D M C N RAC IO PIF LK), ED, or an \
+                implementation table name.")
+  in
+  let run () table =
+    print_string (Relalg.Profile.to_string (Relalg.Profile.profile (resolve_table table)))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Profile a generated table: per-column distinct counts, NULL \
+          sparsity and most-common values (the numbers behind the \
+          paper's \"quite sparse\" observation).")
+    Term.(const run $ setup_term $ table)
 
 (* ------------------------------ report ------------------------------- *)
 
@@ -346,7 +429,7 @@ let report_cmd =
       & info [ "a"; "assignment" ] ~docv:"ASSIGNMENT"
           ~doc:"Channel assignment to analyze (initial|vc4|debugged).")
   in
-  let run full assignment =
+  let run () full assignment =
     let options =
       {
         Checker.Report.include_tables = full;
@@ -362,7 +445,7 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:
          "Emit the enhanced-architecture-specification review document           (Markdown): tables, channel assignment, deadlock verdict,           invariants.")
-    Term.(const run $ full $ assignment)
+    Term.(const run $ setup_term $ full $ assignment)
 
 (* ------------------------------ explain ------------------------------ *)
 
@@ -373,19 +456,45 @@ let explain_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"QUERY" ~doc:"A SQL query to plan.")
   in
-  let run query =
-    let plan = Relalg.Plan.of_query (Relalg.Sql_parser.parse_query query) in
-    Printf.printf "plan:
-%s
-optimized:
-%s"
-      (Relalg.Plan.explain plan)
-      (Relalg.Plan.explain (Relalg.Plan.optimize plan))
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Actually execute the query against the controller-table \
+             database and print per-operator rows in/out and wall-clock \
+             timings (EXPLAIN ANALYZE).")
+  in
+  let index =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'.' string string) []
+      & info [ "index" ] ~docv:"TABLE.COLUMN"
+          ~doc:
+            "With $(b,--analyze): declare a hash index, enabling the \
+             index-lookup access path.  Repeatable.")
+  in
+  let run () query analyze indexes =
+    if analyze then begin
+      let store = Relalg.Physical.make_store (Protocol.database ()) in
+      let r = Relalg.Analyze.run ~indexes store query in
+      Printf.printf "physical plan:\n%s\nexecution:\n%s"
+        (Relalg.Physical.explain r.Relalg.Analyze.physical)
+        (Relalg.Analyze.render r)
+    end
+    else
+      let plan = Relalg.Plan.of_query (Relalg.Sql_parser.parse_query query) in
+      Printf.printf "plan:\n%s\noptimized:\n%s"
+        (Relalg.Plan.explain plan)
+        (Relalg.Plan.explain (Relalg.Plan.optimize plan))
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Show the logical query plan before and after optimization.")
-    Term.(const run $ query)
+       ~doc:
+         "Show the logical query plan before and after optimization; \
+          with --analyze, execute it and report per-operator row counts \
+          and timings.")
+    Term.(const run $ setup_term $ query $ analyze $ index)
 
 let () =
   let doc =
@@ -399,4 +508,5 @@ let () =
           [
             generate_cmd; invariants_cmd; deadlock_cmd; map_cmd; simulate_cmd;
             mcheck_cmd; sql_cmd; report_cmd; explain_cmd; export_cmd;
+            stats_cmd;
           ]))

@@ -8,10 +8,12 @@
 
    Run with: dune exec examples/deadlock_hunt.exe *)
 
-let separator title =
-  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+let separator title = Logs.app (fun m -> m "@.%s@.%s" title (String.make (String.length title) '-'))
 
 let () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.App);
   (* --- static analysis, the paper's loop: check, fix, repeat --------- *)
   List.iter
     (fun (step, r) ->

@@ -9,6 +9,10 @@
    Run with: dune exec examples/model_check.exe *)
 
 let () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.App);
+  Logs.app (fun m -> m "loading the generated controller tables...");
   let tables = Mcheck.Semantics.load_tables () in
 
   (* 1. exhaustive check of a small configuration *)
@@ -36,7 +40,8 @@ let () =
      a dirty owner's data back to memory when it is downgraded.  A later
      silent eviction then loses the only fresh copy, and some interleaving
      reads stale memory — the checker produces that interleaving. *)
-  Format.printf "@.seeding a bug: read-sdata-grant loses the sharing writeback...@.";
+  Logs.app (fun m ->
+      m "seeding a bug: read-sdata-grant loses the sharing writeback...");
   let buggy =
     Protocol.Ctrl_spec.map_scenario Protocol.Dir_controller.spec
       "read-sdata-grant" (fun s ->

@@ -6,6 +6,10 @@ type report = {
 }
 
 let analyze ?placements ?interleavings ?fixpoint ?controllers assignment =
+  Obs.Trace.with_span ~cat:"checker"
+    ~args:[ "assignment", Obs.Json.Str assignment.Vcassign.name ]
+    "deadlock.analyze"
+  @@ fun () ->
   let controllers =
     Option.value controllers ~default:Protocol.deadlock_controllers
   in
@@ -13,8 +17,17 @@ let analyze ?placements ?interleavings ?fixpoint ?controllers assignment =
     Dependency.protocol_dependency ?placements ?interleavings ?fixpoint
       ~v:assignment controllers
   in
-  let vcg = Vcg.build entries in
-  { assignment; entries; vcg; cycles = Vcg.cycles vcg }
+  let vcg =
+    Obs.Trace.with_span ~cat:"checker" "checker.vcg_build" (fun () ->
+        Vcg.build entries)
+  in
+  let cycles =
+    Obs.Trace.with_span ~cat:"checker" "checker.cycles" (fun () ->
+        Vcg.cycles vcg)
+  in
+  let reg = Obs.Metrics.registry "checker" in
+  Obs.Metrics.add (Obs.Metrics.counter reg "cycles_found") (List.length cycles);
+  { assignment; entries; vcg; cycles }
 
 let is_deadlock_free r = r.cycles = []
 

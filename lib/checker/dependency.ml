@@ -14,6 +14,9 @@ type provenance =
 
 type entry = { dep : dep; provenance : provenance }
 
+let obs_reg = lazy (Obs.Metrics.registry "checker")
+let obs_counter name = Obs.Metrics.counter (Lazy.force obs_reg) name
+
 (* Read one (msg, src, dst) column triple off a row, resolving dont-care
    role cells from the message's canonical direction. *)
 let triple_of_row schema row (mc, sc, dc) =
@@ -79,26 +82,35 @@ let matches ~ignore_messages out inp =
 let compose ~ignore_messages ~placement (n1, t1) (n2, t2) =
   let t1 = List.map (fun e -> relocate placement e.dep) t1 in
   let t2 = List.map (fun e -> relocate placement e.dep) t2 in
-  List.concat_map
-    (fun r ->
-      List.filter_map
-        (fun s ->
-          if matches ~ignore_messages r.output s.input then
-            Some
-              {
-                dep = { input = r.input; output = s.output };
-                provenance =
-                  Composed
-                    {
-                      first = n1;
-                      second = n2;
-                      placement;
-                      exact = not ignore_messages;
-                    };
-              }
-          else None)
-        t2)
-    t1
+  let matched =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun s ->
+            if matches ~ignore_messages r.output s.input then
+              Some
+                {
+                  dep = { input = r.input; output = s.output };
+                  provenance =
+                    Composed
+                      {
+                        first = n1;
+                        second = n2;
+                        placement;
+                        exact = not ignore_messages;
+                      };
+                }
+            else None)
+          t2)
+      t1
+  in
+  (* per-placement-relation match counts for the composition pass *)
+  Obs.Metrics.add
+    (obs_counter
+       ("compose_matches."
+       ^ Protocol.Topology.placement_to_string placement))
+    (List.length matched);
+  matched
 
 let dedup entries =
   let seen = Hashtbl.create 256 in
@@ -120,17 +132,28 @@ let compose_closure ~ignore_messages ~placements entries =
 
 let protocol_dependency ?placements ?(interleavings = true)
     ?(fixpoint = false) ~v controllers =
+  Obs.Trace.with_span ~cat:"checker"
+    ~args:[ "assignment", Obs.Json.Str v.Vcassign.name ]
+    "checker.dependency"
+  @@ fun () ->
   let placements =
     Option.value placements ~default:Protocol.Topology.all_placements
   in
   let named =
+    Obs.Trace.with_span ~cat:"checker" "checker.individual" @@ fun () ->
     List.map
       (fun c ->
-        Protocol.Ctrl_spec.name c.Protocol.spec, dedup (individual ~v c))
+        let name = Protocol.Ctrl_spec.name c.Protocol.spec in
+        let deps = dedup (individual ~v c) in
+        Obs.Metrics.add
+          (obs_counter ("direct_deps." ^ name))
+          (List.length deps);
+        name, deps)
       controllers
   in
   let modes = if interleavings then [ false; true ] else [ false ] in
   let composed =
+    Obs.Trace.with_span ~cat:"checker" "checker.compose" @@ fun () ->
     List.concat_map
       (fun placement ->
         List.concat_map
@@ -145,6 +168,9 @@ let protocol_dependency ?placements ?(interleavings = true)
       placements
   in
   let base = dedup (List.concat_map snd named @ composed) in
+  Obs.Metrics.set
+    (Obs.Metrics.gauge (Lazy.force obs_reg) "dependency_table_rows")
+    (float_of_int (List.length base));
   if not fixpoint then base
   else begin
     (* iterate self-composition until no new dependency appears *)

@@ -81,6 +81,15 @@ let generate ?(options = default_options) () =
     (List.length Protocol.Message.all)
     (List.length Protocol.State.all_busy_states)
     (List.length Protocol.Topology.all_placements);
+  pr "## Table profiles\n\n";
+  pr "Per-column sparsity and most-common values (the paper's \"the table \
+     D … is quite sparse\"):\n\n";
+  List.iter
+    (fun c ->
+      let t = Protocol.Ctrl_spec.table c.Protocol.spec in
+      pr "```\n%s```\n\n"
+        (Relalg.Profile.to_string (Relalg.Profile.profile t)))
+    Protocol.controllers;
   if options.include_constraints then begin
     pr "## Column constraints\n\n";
     List.iter

@@ -11,14 +11,32 @@ type result = {
   elapsed : float;
   violation : violation option;
   complete : bool;
+  dedup_hits : int;  (** successor states already in the visited set *)
+  per_depth : (int * int) list;  (** states expanded at each BFS depth *)
+  max_frontier : int;  (** peak BFS queue length *)
 }
+
+let states_per_sec r =
+  if r.elapsed <= 0. then 0. else float_of_int r.explored /. r.elapsed
+
+let dedup_rate r =
+  if r.transitions = 0 then 0.
+  else float_of_int r.dedup_hits /. float_of_int r.transitions
 
 let classify detail =
   if String.length detail >= 5 && String.sub detail 0 5 = "stale" then
     `Stale_data
   else `Unhandled
 
+let obs_reg = lazy (Obs.Metrics.registry "mcheck")
+
 let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
+  Obs.Trace.with_span ~cat:"mcheck"
+    ~args:
+      [ "nodes", Obs.Json.Int config.Semantics.nodes;
+        "addrs", Obs.Json.Int config.Semantics.addrs ]
+    "mcheck.run"
+  @@ fun () ->
   let tables = match tables with Some t -> t | None -> Semantics.load_tables () in
   let t0 = Sys.time () in
   let state_key =
@@ -33,6 +51,13 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
   Hashtbl.add visited initial_key ();
   Queue.add (initial, initial_key, 0) queue;
   let explored = ref 0 and transitions = ref 0 and max_depth = ref 0 in
+  let dedup_hits = ref 0 and max_frontier = ref 0 in
+  let per_depth : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let depth_histogram =
+    Obs.Metrics.histogram
+      ~bounds:(Obs.Metrics.exponential_bounds ~start:1. ~factor:2. 12)
+      (Lazy.force obs_reg) "expansion_depth"
+  in
   let trace_to key =
     let rec go key acc =
       match Hashtbl.find_opt parent key with
@@ -42,21 +67,46 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
     go key []
   in
   let finish violation complete =
+    let elapsed = Sys.time () -. t0 in
+    let reg = Lazy.force obs_reg in
+    Obs.Metrics.add (Obs.Metrics.counter reg "states_explored") !explored;
+    Obs.Metrics.add (Obs.Metrics.counter reg "transitions") !transitions;
+    Obs.Metrics.add (Obs.Metrics.counter reg "dedup_hits") !dedup_hits;
+    Obs.Metrics.set
+      (Obs.Metrics.gauge reg "states_per_sec")
+      (if elapsed <= 0. then 0. else float_of_int !explored /. elapsed);
+    Obs.Metrics.set
+      (Obs.Metrics.gauge reg "max_frontier")
+      (float_of_int !max_frontier);
     {
       explored = !explored;
       transitions = !transitions;
       max_depth = !max_depth;
-      elapsed = Sys.time () -. t0;
+      elapsed;
       violation;
       complete;
+      dedup_hits = !dedup_hits;
+      per_depth =
+        List.sort compare
+          (Hashtbl.fold (fun d n acc -> (d, n) :: acc) per_depth []);
+      max_frontier = !max_frontier;
     }
   in
   let exception Found of violation in
   try
     while not (Queue.is_empty queue) do
       if !explored >= max_states then raise Exit;
+      let frontier = Queue.length queue in
+      if frontier > !max_frontier then max_frontier := frontier;
+      (* sample the frontier sparsely so tracing stays cheap *)
+      if !explored land 1023 = 0 then
+        Obs.Trace.counter "mcheck.frontier"
+          [ "queued", float_of_int frontier ];
       let st, key, depth = Queue.take queue in
       incr explored;
+      Hashtbl.replace per_depth depth
+        (1 + Option.value (Hashtbl.find_opt per_depth depth) ~default:0);
+      Obs.Metrics.observe depth_histogram (float_of_int depth);
       if depth > !max_depth then max_depth := depth;
       (match Semantics.state_violations config st with
       | [] -> ()
@@ -85,7 +135,8 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
                    })
           | Semantics.Next st' ->
               let key' = state_key st' in
-              if not (Hashtbl.mem visited key') then begin
+              if Hashtbl.mem visited key' then incr dedup_hits
+              else begin
                 Hashtbl.add visited key' ();
                 Hashtbl.add parent key' (key, label);
                 Queue.add (st', key', depth + 1) queue
@@ -99,10 +150,22 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
 
 let pp_result fmt r =
   Format.fprintf fmt
-    "states=%d transitions=%d depth=%d time=%.2fs %s" r.explored r.transitions
-    r.max_depth r.elapsed
+    "states=%d transitions=%d depth=%d time=%.2fs (%.0f states/s, dedup %.0f%%) %s"
+    r.explored r.transitions r.max_depth r.elapsed (states_per_sec r)
+    (100. *. dedup_rate r)
     (match r.violation with
     | None -> if r.complete then "no violations" else "bounded, no violations"
     | Some v ->
         Printf.sprintf "VIOLATION %s (trace length %d)" v.detail
           (List.length v.trace))
+
+let pp_depth_profile fmt r =
+  Format.fprintf fmt "depth histogram (states expanded per BFS depth):@.";
+  let widest =
+    List.fold_left (fun acc (_, n) -> max acc n) 1 r.per_depth
+  in
+  List.iter
+    (fun (depth, n) ->
+      let bar = max 1 (n * 40 / widest) in
+      Format.fprintf fmt "  %3d %8d %s@." depth n (String.make bar '#'))
+    r.per_depth

@@ -18,7 +18,15 @@ type result = {
   elapsed : float;  (** seconds *)
   violation : violation option;  (** first violation found, if any *)
   complete : bool;  (** false if [max_states] stopped the search *)
+  dedup_hits : int;  (** successors already in the visited set *)
+  per_depth : (int * int) list;  (** states expanded per BFS depth *)
+  max_frontier : int;  (** peak BFS queue length *)
 }
+
+val states_per_sec : result -> float
+
+val dedup_rate : result -> float
+(** Fraction of transitions whose target was already visited. *)
 
 val run :
   ?max_states:int ->
@@ -35,3 +43,6 @@ val run :
     rather than the literal interleaving. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+val pp_depth_profile : Format.formatter -> result -> unit
+(** ASCII histogram of states expanded per BFS depth. *)

@@ -1,0 +1,16 @@
+(* Global on/off switch for the whole observability layer.
+
+   Every recording entry point (spans, counters, histogram observations)
+   checks this one flag first, so with instrumentation disabled the cost
+   of an instrumented call site is a single load-and-branch — effectively
+   a no-op on the hot paths. *)
+
+let enabled = ref false
+let enable () = enabled := true
+let disable () = enabled := false
+let on () = !enabled
+
+let with_enabled f =
+  let prev = !enabled in
+  enabled := true;
+  Fun.protect ~finally:(fun () -> enabled := prev) f

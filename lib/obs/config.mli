@@ -1,0 +1,15 @@
+(** Global switch for the observability layer.
+
+    All recording entry points ({!Trace}, {!Metrics}) test this flag
+    before doing any work, so instrumented call sites cost a single
+    branch when disabled. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val on : unit -> bool
+(** Current state; [false] at startup. *)
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run a thunk with instrumentation enabled, restoring the previous
+    state afterwards (also on exceptions). *)

@@ -1,0 +1,32 @@
+(** Minimal JSON tree with a renderer and a parser.
+
+    Backs the Chrome trace-event export and the machine-readable bench
+    snapshots; the parser exists so tests can round-trip what the
+    toolchain emits without an external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val parse : string -> (t, string) result
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+
+(** Accessors, [None] on shape mismatch: *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_str : t -> string option
+
+val to_number : t -> float option
+(** Ints are widened to float. *)

@@ -1,0 +1,221 @@
+(* Counters, gauges and histograms grouped into named registries — one
+   registry per subsystem (relalg, solver, checker, mcheck, sim), so each
+   layer owns its namespace and a report can render them side by side.
+
+   Handles are cheap mutable records; creation is memoized per
+   (registry, name).  Mutation entry points check {!Config.on} so a
+   disabled build pays one branch per call site. *)
+
+type counter = { c_name : string; mutable count : int }
+
+type gauge = {
+  g_name : string;
+  mutable value : float;
+  mutable g_max : float;
+  mutable samples : int;
+}
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (** strictly increasing upper bucket bounds *)
+  counts : int array;  (** length = length bounds + 1 (overflow bucket) *)
+  mutable sum : float;
+  mutable n : int;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type registry = {
+  r_name : string;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let registries : (string, registry) Hashtbl.t = Hashtbl.create 8
+let registry_order : string list ref = ref []
+
+let registry name =
+  match Hashtbl.find_opt registries name with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          r_name = name;
+          counters = Hashtbl.create 16;
+          gauges = Hashtbl.create 8;
+          histograms = Hashtbl.create 8;
+        }
+      in
+      Hashtbl.add registries name r;
+      registry_order := name :: !registry_order;
+      r
+
+let all_registries () =
+  List.rev_map (Hashtbl.find registries) !registry_order
+
+let memo tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      Hashtbl.add tbl name v;
+      v
+
+(* ------------------------------ counters ------------------------------ *)
+
+let counter reg name =
+  memo reg.counters name (fun () -> { c_name = name; count = 0 })
+
+let incr c = if Config.on () then c.count <- c.count + 1
+let add c n = if Config.on () then c.count <- c.count + n
+let count c = c.count
+
+let aggregate name =
+  List.fold_left
+    (fun acc r ->
+      match Hashtbl.find_opt r.counters name with
+      | Some c -> acc + c.count
+      | None -> acc)
+    0 (all_registries ())
+
+(* ------------------------------- gauges ------------------------------- *)
+
+let gauge reg name =
+  memo reg.gauges name (fun () ->
+      { g_name = name; value = 0.; g_max = neg_infinity; samples = 0 })
+
+let set g v =
+  if Config.on () then begin
+    g.value <- v;
+    if v > g.g_max then g.g_max <- v;
+    g.samples <- g.samples + 1
+  end
+
+let gauge_value g = g.value
+let gauge_max g = if g.samples = 0 then 0. else g.g_max
+
+(* ----------------------------- histograms ----------------------------- *)
+
+let exponential_bounds ?(start = 1.) ?(factor = 2.) count =
+  Array.init count (fun i -> start *. (factor ** float_of_int i))
+
+let default_bounds = exponential_bounds ~start:1. ~factor:4. 10
+
+let histogram ?(bounds = default_bounds) reg name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg ("histogram " ^ name ^ ": bounds must be increasing"))
+    bounds;
+  memo reg.histograms name (fun () ->
+      {
+        h_name = name;
+        bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        sum = 0.;
+        n = 0;
+        h_min = infinity;
+        h_max = neg_infinity;
+      })
+
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if Config.on () then begin
+    let i = bucket_index h.bounds v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum +. v;
+    h.n <- h.n + 1;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let observations h = h.n
+let mean h = if h.n = 0 then 0. else h.sum /. float_of_int h.n
+
+let quantile h q =
+  if h.n = 0 then 0.
+  else begin
+    let rank = Float.max 1. (Float.round (q *. float_of_int h.n)) in
+    let rec go i acc =
+      if i >= Array.length h.counts then h.h_max
+      else
+        let acc = acc + h.counts.(i) in
+        if float_of_int acc >= rank then
+          if i < Array.length h.bounds then h.bounds.(i) else h.h_max
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+(* ------------------------------- reset -------------------------------- *)
+
+let reset () =
+  List.iter
+    (fun r ->
+      Hashtbl.iter (fun _ c -> c.count <- 0) r.counters;
+      Hashtbl.iter
+        (fun _ g ->
+          g.value <- 0.;
+          g.g_max <- neg_infinity;
+          g.samples <- 0)
+        r.gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.sum <- 0.;
+          h.n <- 0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity)
+        r.histograms)
+    (all_registries ())
+
+let clear () =
+  Hashtbl.reset registries;
+  registry_order := []
+
+(* ------------------------------ rendering ----------------------------- *)
+
+let sorted_values tbl name_of =
+  List.sort
+    (fun a b -> compare (name_of a) (name_of b))
+    (Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
+
+let render_registry buf r =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let counters = sorted_values r.counters (fun c -> c.c_name) in
+  let gauges = sorted_values r.gauges (fun g -> g.g_name) in
+  let histograms = sorted_values r.histograms (fun h -> h.h_name) in
+  if counters <> [] || gauges <> [] || histograms <> [] then begin
+    pr "[%s]\n" r.r_name;
+    List.iter (fun c -> pr "  %-32s %12d\n" c.c_name c.count) counters;
+    List.iter
+      (fun g -> pr "  %-32s %12.1f (max %.1f)\n" g.g_name g.value (gauge_max g))
+      gauges;
+    List.iter
+      (fun h ->
+        pr "  %-32s n=%d mean=%.1f p50=%.1f p90=%.1f max=%.1f\n" h.h_name h.n
+          (mean h) (quantile h 0.5) (quantile h 0.9)
+          (if h.n = 0 then 0. else h.h_max);
+        if h.n > 0 then begin
+          pr "    buckets:";
+          Array.iteri
+            (fun i c ->
+              if c > 0 then
+                if i < Array.length h.bounds then
+                  pr " <=%g:%d" h.bounds.(i) c
+                else pr " >%g:%d" h.bounds.(Array.length h.bounds - 1) c)
+            h.counts;
+          pr "\n"
+        end)
+      histograms
+  end
+
+let summary () =
+  let buf = Buffer.create 1024 in
+  List.iter (render_registry buf) (all_registries ());
+  Buffer.contents buf

@@ -1,0 +1,66 @@
+(** Labeled metric registries: counters, gauges and histograms.
+
+    One registry per subsystem ([Metrics.registry "mcheck"], …); handles
+    are memoized per (registry, name) so call sites can re-request them
+    cheaply.  All mutators are no-ops while {!Config.on} is [false]. *)
+
+type counter
+type gauge
+type histogram
+type registry
+
+val registry : string -> registry
+(** Find or create a named registry. *)
+
+val all_registries : unit -> registry list
+(** In creation order. *)
+
+(** {2 Counters} *)
+
+val counter : registry -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val aggregate : string -> int
+(** Sum of every counter with this name across all registries. *)
+
+(** {2 Gauges} *)
+
+val gauge : registry -> string -> gauge
+
+val set : gauge -> float -> unit
+(** Record the current value; the maximum ever set is kept too. *)
+
+val gauge_value : gauge -> float
+val gauge_max : gauge -> float
+
+(** {2 Histograms} *)
+
+val exponential_bounds : ?start:float -> ?factor:float -> int -> float array
+(** [exponential_bounds ~start ~factor n]: [start], [start*factor], … *)
+
+val histogram : ?bounds:float array -> registry -> string -> histogram
+(** [bounds] are strictly increasing upper bucket bounds; an implicit
+    overflow bucket is appended.  Defaults to 10 powers of 4.
+    @raise Invalid_argument if [bounds] is not strictly increasing. *)
+
+val observe : histogram -> float -> unit
+val observations : histogram -> int
+val mean : histogram -> float
+
+val quantile : histogram -> float -> float
+(** Bucket-resolution quantile estimate ([quantile h 0.5] = median). *)
+
+(** {2 Lifecycle and rendering} *)
+
+val reset : unit -> unit
+(** Zero every metric in every registry (handles stay valid). *)
+
+val clear : unit -> unit
+(** Drop every registry entirely.  Existing handles keep working but are
+    no longer rendered; call sites that re-request their registry get a
+    fresh one.  Meant for test isolation. *)
+
+val summary : unit -> string
+(** Aligned text rendering of every non-empty registry. *)

@@ -1,0 +1,8 @@
+(** Text summary of everything recorded so far. *)
+
+val render : unit -> string
+(** Span roll-up (by name) followed by every metric registry; empty
+    string when nothing was recorded. *)
+
+val reset : unit -> unit
+(** Clear the trace buffer and zero all metrics. *)

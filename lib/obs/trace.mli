@@ -1,0 +1,53 @@
+(** Span/event recording with Chrome trace-event export.
+
+    All entry points are no-ops while {!Config.on} is [false].  Events
+    accumulate in a global in-memory buffer; {!save} writes a JSON file
+    loadable in [chrome://tracing] or Perfetto. *)
+
+type args = (string * Json.t) list
+
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      ts_us : float;  (** microseconds since the first recorded event *)
+      dur_us : float;
+      depth : int;  (** nesting depth when the span opened (0 = root) *)
+      args : args;
+    }
+  | Instant of { name : string; cat : string; ts_us : float; args : args }
+  | Counter of { name : string; ts_us : float; values : (string * float) list }
+
+val with_span : ?cat:string -> ?args:args -> string -> (unit -> 'a) -> 'a
+(** Time a thunk; the span is recorded when it returns (also on
+    exceptions).  Spans nest freely. *)
+
+val instant : ?cat:string -> ?args:args -> string -> unit
+(** A point-in-time marker. *)
+
+val counter : string -> (string * float) list -> unit
+(** A counter sample; Perfetto renders series of these as a stacked
+    time-series track. *)
+
+val events : unit -> event list
+(** Recorded events, oldest first (completion order for spans: a child
+    span always precedes its parent). *)
+
+val reset : unit -> unit
+
+val to_json : unit -> Json.t
+val export : unit -> string
+
+val save : string -> unit
+(** Write the Chrome trace JSON to a file. *)
+
+type span_stat = {
+  span : string;
+  count : int;
+  total_us : float;
+  min_us : float;
+  max_us : float;
+}
+
+val span_stats : unit -> span_stat list
+(** Spans rolled up by name, in first-appearance order. *)

@@ -1,0 +1,156 @@
+(* EXPLAIN ANALYZE: execute a physical plan while timing every operator
+   and counting the rows that flow through it — the runtime counterpart
+   of Physical.explain.
+
+   Each operator is also recorded as an Obs span (category "relalg"), so
+   a --trace run shows the operator tree on the timeline, and per-query
+   row counters accumulate in the "relalg" metric registry. *)
+
+type node = {
+  op : string;  (** one-line operator description *)
+  rows_in : int;  (** rows consumed (sum of the children's outputs) *)
+  rows_out : int;
+  elapsed_ns : int64;  (** inclusive wall time *)
+  children : node list;
+}
+
+let reg = lazy (Obs.Metrics.registry "relalg")
+let rows_scanned () = Obs.Metrics.counter (Lazy.force reg) "rows_scanned"
+let rows_returned () = Obs.Metrics.counter (Lazy.force reg) "rows_returned"
+let operators_run () = Obs.Metrics.counter (Lazy.force reg) "operators_run"
+let queries_analyzed () = Obs.Metrics.counter (Lazy.force reg) "queries_analyzed"
+
+let describe : Physical.t -> string = function
+  | Physical.Access (Physical.Seq_scan name) -> "seq scan " ^ name
+  | Physical.Access (Physical.Index_lookup { table; column; value; residual }) ->
+      Printf.sprintf "index lookup %s.%s = %s%s" table column
+        (Value.to_sql value)
+        (match residual with
+        | None -> ""
+        | Some e -> Format.asprintf " [filter %a]" Expr.pp e)
+  | Physical.Select (e, _) -> Format.asprintf "filter %a" Expr.pp e
+  | Physical.Project (cols, _) ->
+      Printf.sprintf "project [%s]" (String.concat ", " cols)
+  | Physical.Distinct _ -> "distinct"
+  | Physical.Union _ -> "union"
+  | Physical.Except _ -> "except"
+  | Physical.Intersect _ -> "intersect"
+  | Physical.Count _ -> "count"
+  | Physical.Group_count (cols, _) ->
+      Printf.sprintf "group count by [%s]" (String.concat ", " cols)
+  | Physical.Empty cols ->
+      Printf.sprintf "empty [%s]" (String.concat ", " cols)
+
+let store_db = Physical.store_db
+
+let rec execute store (p : Physical.t) : Table.t * node =
+  let op = describe p in
+  Obs.Trace.with_span ~cat:"relalg" op @@ fun () ->
+  let t0 = Obs.Clock.now_ns () in
+  let finish ?(rows_in = -1) children table =
+    let rows_in =
+      if rows_in >= 0 then rows_in
+      else List.fold_left (fun acc c -> acc + c.rows_out) 0 children
+    in
+    let rows_out = Table.cardinality table in
+    Obs.Metrics.incr (operators_run ());
+    table,
+    { op; rows_in; rows_out; elapsed_ns = Obs.Clock.since t0; children }
+  in
+  let funcs = Database.functions (store_db store) in
+  match p with
+  | Physical.Access a ->
+      let source_rows =
+        match a with
+        | Physical.Seq_scan name
+        | Physical.Index_lookup { table = name; _ } ->
+            Table.cardinality (Database.find (store_db store) name)
+      in
+      let table = Physical.execute_access store a in
+      Obs.Metrics.add (rows_scanned ()) (Table.cardinality table);
+      finish ~rows_in:source_rows [] table
+  | Physical.Select (pred, inner) ->
+      let t, c = execute store inner in
+      finish [ c ] (Ops.select ~funcs pred t)
+  | Physical.Project (cols, inner) ->
+      let t, c = execute store inner in
+      finish [ c ] (Ops.project cols t)
+  | Physical.Distinct inner ->
+      let t, c = execute store inner in
+      finish [ c ] (Table.distinct t)
+  | Physical.Union (a, b) ->
+      let ta, ca = execute store a in
+      let tb, cb = execute store b in
+      finish [ ca; cb ] (Ops.union ta tb)
+  | Physical.Except (a, b) ->
+      let ta, ca = execute store a in
+      let tb, cb = execute store b in
+      finish [ ca; cb ] (Ops.except ta tb)
+  | Physical.Intersect (a, b) ->
+      let ta, ca = execute store a in
+      let tb, cb = execute store b in
+      finish [ ca; cb ] (Ops.intersect ta tb)
+  | Physical.Count inner ->
+      let t, c = execute store inner in
+      finish [ c ]
+        (Table.of_rows ~name:"<count>"
+           (Schema.of_list [ "count" ])
+           [ [| Value.Int (Table.cardinality t) |] ])
+  | Physical.Group_count (cols, inner) ->
+      let t, c = execute store inner in
+      finish [ c ]
+        (Table.of_rows ~name:"<group>"
+           (Schema.of_list (cols @ [ "count" ]))
+           (List.map
+              (fun (key, n) -> Array.append key [| Value.Int n |])
+              (Ops.group_count ~by:cols t)))
+  | Physical.Empty cols ->
+      finish [] (Table.create ~name:"<empty>" (Schema.of_list cols))
+
+type result = {
+  table : Table.t;
+  root : node;
+  logical : Plan.t;
+  physical : Physical.t;
+  total_ns : int64;
+}
+
+let run ?(indexes = []) store src =
+  Obs.Trace.with_span ~cat:"relalg"
+    ~args:[ "query", Obs.Json.Str src ]
+    "sql.analyze"
+  @@ fun () ->
+  let t0 = Obs.Clock.now_ns () in
+  let logical =
+    Obs.Trace.with_span ~cat:"relalg" "plan.optimize" (fun () ->
+        Plan.optimize (Plan.of_query (Sql_parser.parse_query src)))
+  in
+  let physical = Physical.physicalize ~indexes logical in
+  let table, root = execute store physical in
+  Obs.Metrics.incr (queries_analyzed ());
+  Obs.Metrics.add (rows_returned ()) (Table.cardinality table);
+  { table; root; logical; physical; total_ns = Obs.Clock.since t0 }
+
+let render_node root =
+  let buf = Buffer.create 512 in
+  let rec go indent n =
+    let self_ns =
+      Int64.sub n.elapsed_ns
+        (List.fold_left (fun acc c -> Int64.add acc c.elapsed_ns) 0L n.children)
+    in
+    Printf.ksprintf (Buffer.add_string buf)
+      "%s%-*s rows in=%-6d out=%-6d time=%8.3f ms (self %.3f ms)\n"
+      (String.make indent ' ')
+      (max 1 (46 - indent))
+      n.op n.rows_in n.rows_out
+      (Obs.Clock.to_ms n.elapsed_ns)
+      (Obs.Clock.to_ms self_ns);
+    List.iter (go (indent + 2)) n.children
+  in
+  go 0 root;
+  Buffer.contents buf
+
+let render r =
+  Printf.sprintf "%stotal: %.3f ms, %d rows\n" (render_node r.root)
+    (Obs.Clock.to_ms r.total_ns)
+    (Table.cardinality r.table)

@@ -1,0 +1,36 @@
+(** EXPLAIN ANALYZE: run a physical plan while measuring every operator.
+
+    The runtime counterpart of {!Physical.explain} — per operator it
+    records rows in (sum of the children's outputs; for access paths,
+    the cardinality of the source table), rows out, and inclusive wall
+    time on the monotonic clock.  Each operator also emits an [Obs] span
+    (category ["relalg"]), so an analyzed query shows up as an operator
+    tree on a [--trace] timeline. *)
+
+type node = {
+  op : string;  (** one-line operator description *)
+  rows_in : int;
+  rows_out : int;
+  elapsed_ns : int64;  (** inclusive wall time *)
+  children : node list;
+}
+
+val execute : Physical.store -> Physical.t -> Table.t * node
+(** Evaluate, returning the result and the measured operator tree. *)
+
+type result = {
+  table : Table.t;
+  root : node;
+  logical : Plan.t;  (** optimized logical plan *)
+  physical : Physical.t;
+  total_ns : int64;  (** parse + optimize + physicalize + execute *)
+}
+
+val run : ?indexes:(string * string) list -> Physical.store -> string -> result
+(** Parse → optimize → physicalize → {!execute} a SQL string. *)
+
+val render_node : node -> string
+(** Indented per-operator tree with row counts and timings. *)
+
+val render : result -> string
+(** {!render_node} plus a total line. *)

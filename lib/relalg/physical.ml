@@ -25,6 +25,7 @@ type store = {
 }
 
 let make_store db = { db; cache = Hashtbl.create 16 }
+let store_db store = store.db
 
 let index_of store table column =
   match Hashtbl.find_opt store.cache (table, column) with
@@ -110,6 +111,10 @@ let rec execute store = function
   | Empty cols -> Table.create ~name:"<empty>" (Schema.of_list cols)
 
 let run ?(indexes = []) store src =
+  Obs.Trace.with_span ~cat:"relalg"
+    ~args:[ "query", Obs.Json.Str src ]
+    "sql.physical_run"
+  @@ fun () ->
   let logical = Plan.optimize (Plan.of_query (Sql_parser.parse_query src)) in
   execute store (physicalize ~indexes logical)
 

@@ -37,6 +37,9 @@ type store
 
 val make_store : Database.t -> store
 
+val store_db : store -> Database.t
+(** The database snapshot the store was built over. *)
+
 val indexed_columns : (string * string) list -> string -> string list
 (** Columns declared indexed for a table, from a [(table, column)] list. *)
 
@@ -47,6 +50,10 @@ val physicalize : indexes:(string * string) list -> Plan.t -> t
 
 val execute : store -> t -> Table.t
 (** Evaluate; index lookups hit the store's cache. *)
+
+val execute_access : store -> access -> Table.t
+(** Evaluate one access path (the leaves of {!execute}); exposed so
+    {!Analyze} can time each operator individually. *)
 
 val run : ?indexes:(string * string) list -> store -> string -> Table.t
 (** Parse → logical optimize → physicalize → execute against the store's

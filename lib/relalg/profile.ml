@@ -55,6 +55,9 @@ let profile tbl =
     per_column;
   }
 
+let column_sparsity p c =
+  if p.rows = 0 then 0. else float_of_int c.nulls /. float_of_int p.rows
+
 let to_string p =
   let buf = Buffer.create 512 in
   Printf.ksprintf (Buffer.add_string buf)
@@ -64,9 +67,15 @@ let to_string p =
   List.iter
     (fun c ->
       Printf.ksprintf (Buffer.add_string buf)
-        "  %-12s %4d distinct, %5d null%s\n" c.column c.distinct c.nulls
+        "  %-12s %4d distinct, %5d null (%3.0f%% sparse)%s\n" c.column
+        c.distinct c.nulls
+        (100. *. column_sparsity p c)
         (match c.most_common with
-        | Some (v, n) -> Printf.sprintf ", mode %s (%d)" (Value.to_string v) n
+        | Some (v, n) ->
+            Printf.sprintf ", mode %s (%d, %.0f%% of rows)"
+              (Value.to_string v) n
+              (if p.rows = 0 then 0.
+               else 100. *. float_of_int n /. float_of_int p.rows)
         | None -> ""))
     p.per_column;
   Buffer.contents buf

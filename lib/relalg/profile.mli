@@ -25,6 +25,11 @@ type t = {
 val sparsity : t -> float
 (** Fraction of cells that are NULL — the paper's "quite sparse". *)
 
+val column_sparsity : t -> column_stats -> float
+(** Fraction of a column's cells that are NULL. *)
+
 val profile : Table.t -> t
+
 val to_string : t -> string
-(** An aligned per-column summary. *)
+(** An aligned per-column summary with per-column sparsity and the share
+    of rows covered by the most common value. *)

@@ -7,11 +7,20 @@ type spec = {
   constraints : (string * Expr.t) list;
 }
 
+type column_stats = { column : string; considered : int; kept : int }
+
 type stats = {
   candidates : int;
   evaluations : int;
   per_column : (string * int) list;
+  pruning : column_stats list;
 }
+
+let pruned c = c.considered - c.kept
+
+let obs_reg = lazy (Obs.Metrics.registry "solver")
+
+let obs_counter name = Obs.Metrics.counter (Lazy.force obs_reg) name
 
 exception Invalid_spec of string
 
@@ -60,9 +69,14 @@ let search_space s =
 let ordered_columns s = inputs s @ outputs s
 
 let generate ?funcs s =
+  Obs.Trace.with_span ~cat:"solver"
+    ~args:[ "table", Obs.Json.Str s.sname ]
+    "solver.generate"
+  @@ fun () ->
   let order = ordered_columns s in
   let evaluations = ref 0 and candidates = ref 0 in
   let per_column = ref [] in
+  let pruning = ref [] in
   (* Constraints not yet applied, with their free-column sets. *)
   let pending =
     ref
@@ -75,6 +89,11 @@ let generate ?funcs s =
   in
   let bound = Hashtbl.create 16 in
   let step (schema, rows) col =
+    Obs.Trace.with_span ~cat:"solver"
+      ~args:[ "column", Obs.Json.Str col.cname ]
+      "solver.extend"
+    @@ fun () ->
+    let candidates_before = !candidates in
     Hashtbl.add bound col.cname ();
     let schema' = Schema.append schema [ col.cname ] in
     let ready, waiting =
@@ -103,20 +122,32 @@ let generate ?funcs s =
         (fun row -> List.filter_map (extend row) col.domain)
         rows
     in
-    per_column := (col.cname, List.length rows') :: !per_column;
+    let kept = List.length rows' in
+    per_column := (col.cname, kept) :: !per_column;
+    pruning :=
+      { column = col.cname; considered = !candidates - candidates_before; kept }
+      :: !pruning;
     schema', rows'
   in
   let schema, rows =
     List.fold_left step (Schema.of_list [], [ [||] ]) order
   in
+  Obs.Metrics.add (obs_counter "candidates") !candidates;
+  Obs.Metrics.add (obs_counter "evaluations") !evaluations;
+  Obs.Metrics.add (obs_counter "rows_generated") (List.length rows);
   ( Table.of_rows ~name:s.sname schema rows,
     {
       candidates = !candidates;
       evaluations = !evaluations;
       per_column = List.rev !per_column;
+      pruning = List.rev !pruning;
     } )
 
 let generate_monolithic ?funcs s =
+  Obs.Trace.with_span ~cat:"solver"
+    ~args:[ "table", Obs.Json.Str s.sname ]
+    "solver.generate_monolithic"
+  @@ fun () ->
   let order = ordered_columns s in
   let schema = Schema.of_list (List.map (fun c -> c.cname) order) in
   let conjunction =
@@ -151,4 +182,7 @@ let generate_monolithic ?funcs s =
       candidates = !candidates;
       evaluations = !evaluations;
       per_column = [ ("<full product>", List.length rows) ];
+      pruning =
+        [ { column = "<full product>"; considered = !candidates;
+            kept = List.length rows } ];
     } )

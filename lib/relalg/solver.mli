@@ -33,13 +33,26 @@ type column = {
 type spec
 (** A validated table specification. *)
 
+type column_stats = {
+  column : string;
+  considered : int;  (** candidate extensions tried while adding the column *)
+  kept : int;  (** rows surviving the column's applicable constraints *)
+}
+
 type stats = {
   candidates : int;  (** candidate (partial) rows materialized *)
   evaluations : int;  (** constraint evaluations performed *)
   per_column : (string * int) list;
       (** rows surviving after each column is added (incremental) or a
           single entry for the full product (monolithic) *)
+  pruning : column_stats list;
+      (** per-column candidate/pruned breakdown, in column-addition
+          order — the measured shape of the paper's "prune dead branches
+          early" argument *)
 }
+
+val pruned : column_stats -> int
+(** [considered - kept]. *)
 
 exception Invalid_spec of string
 

@@ -2,6 +2,9 @@ exception Exec_error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 
+let obs_reg = lazy (Obs.Metrics.registry "relalg")
+let obs_counter name = Obs.Metrics.counter (Lazy.force obs_reg) name
+
 let rec run_query db (q : Sql_ast.query) =
   match q with
   | Select { distinct; columns; from; where } ->
@@ -55,8 +58,23 @@ let run_statement db (s : Sql_ast.statement) =
       if not (Database.mem db name) then error "unknown table %s" name;
       Database.remove db name, None
 
-let query db src = run_query db (Sql_parser.parse_query src)
-let exec db src = run_statement db (Sql_parser.parse_statement src)
+let query db src =
+  Obs.Trace.with_span ~cat:"relalg"
+    ~args:[ "query", Obs.Json.Str src ]
+    "sql.query"
+  @@ fun () ->
+  let result = run_query db (Sql_parser.parse_query src) in
+  Obs.Metrics.incr (obs_counter "queries");
+  Obs.Metrics.add (obs_counter "rows_returned") (Table.cardinality result);
+  result
+
+let exec db src =
+  Obs.Trace.with_span ~cat:"relalg"
+    ~args:[ "statement", Obs.Json.Str src ]
+    "sql.exec"
+  @@ fun () ->
+  Obs.Metrics.incr (obs_counter "statements");
+  run_statement db (Sql_parser.parse_statement src)
 
 let exec_script db stmts =
   List.fold_left (fun db src -> fst (exec db src)) db stmts

@@ -83,7 +83,36 @@ let blocked_heads config st =
                src dst cls))
     (Mcheck.Mstate.queue_heads st)
 
+let obs_reg = lazy (Obs.Metrics.registry "sim")
+
+(* One Chrome counter sample per simulator step: Perfetto renders the
+   series as a stacked per-virtual-channel occupancy track. *)
+let sample_occupancy config st =
+  if Obs.Config.on () then
+    Obs.Trace.counter "sim.vc_occupancy"
+      (List.map
+         (fun (vc, n) -> vc, float_of_int n)
+         (Channel.occupancy ~v:config.v st))
+
+let record_wedge ~t0 ~steps result =
+  match result with
+  | Quiescent _ -> ()
+  | Deadlock { blocked; _ } ->
+      let latency_ms = Obs.Clock.to_ms (Obs.Clock.since t0) in
+      let reg = Lazy.force obs_reg in
+      Obs.Metrics.incr (Obs.Metrics.counter reg "wedges_detected");
+      Obs.Metrics.set
+        (Obs.Metrics.gauge reg "wedge_detect_latency_ms")
+        latency_ms;
+      Obs.Trace.instant ~cat:"sim"
+        ~args:
+          [ "steps", Obs.Json.Int steps;
+            "blocked", Obs.Json.Int (List.length blocked) ]
+        "sim.wedge"
+
 let run ?(script = []) ?(trace = fun _ -> ()) ?(max_steps = 10_000) config st =
+  Obs.Trace.with_span ~cat:"sim" "sim.run" @@ fun () ->
+  let t0 = Obs.Clock.now_ns () in
   let steps = ref 0 in
   let st = ref st in
   List.iter
@@ -91,7 +120,8 @@ let run ?(script = []) ?(trace = fun _ -> ()) ?(max_steps = 10_000) config st =
       let label, st' = apply_event config !st ev in
       incr steps;
       trace label;
-      st := st')
+      st := st';
+      sample_occupancy config !st)
     script;
   let rec free_run () =
     if !steps >= max_steps then
@@ -113,6 +143,7 @@ let run ?(script = []) ?(trace = fun _ -> ()) ?(max_steps = 10_000) config st =
                 incr steps;
                 trace label;
                 st := st';
+                sample_occupancy config !st;
                 true
             | None -> false)
           heads
@@ -131,6 +162,7 @@ let run ?(script = []) ?(trace = fun _ -> ()) ?(max_steps = 10_000) config st =
                       incr steps;
                       trace (Printf.sprintf "reissue node%d addr%d" node addr);
                       st := st';
+                      sample_occupancy config !st;
                       true
                   | Some _ | None -> false)
                 (List.init config.addrs Fun.id))
@@ -151,7 +183,9 @@ let run ?(script = []) ?(trace = fun _ -> ()) ?(max_steps = 10_000) config st =
             },
           !st )
   in
-  free_run ()
+  let result, final = free_run () in
+  record_wedge ~t0 ~steps:!steps result;
+  result, final
 
 let pp_result fmt = function
   | Quiescent { steps } -> Format.fprintf fmt "quiescent after %d steps" steps

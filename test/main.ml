@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "asura_sql"
     [
+      "observability", Test_obs.suite;
       "values-rows-schemas", Test_value.suite;
       "expressions", Test_expr.suite;
       "tables-and-operators", Test_table.suite;
