@@ -85,8 +85,32 @@ let benchmarks =
            ignore (Sim.Scenario.figure4 Checker.Vcassign.with_vc4)));
   ]
 
-let run_benchmarks () =
-  Printf.printf "\n=== Bechamel timings (per regeneration) ===\n%!";
+(* The benchmarks whose hot path is parallelized; each runs twice in
+   machine-readable mode, pinned to one domain and at the requested
+   degree, so the JSON snapshot records the seq/par pair. *)
+let paired_names =
+  [ "generate-D-incremental"; "deadlock-V-vc4"; "mcheck-3node-symmetry" ]
+
+let ols_estimate ~name benchmark analyzed =
+  (* Refuse to report a regression slope fitted to fewer than two
+     samples — that is not an estimate, it is noise — rather than let a
+     NaN leak into the JSON snapshot and poison downstream comparisons. *)
+  let samples = Array.length benchmark.Benchmark.lr in
+  if samples < 2 then
+    failwith
+      (Printf.sprintf
+         "bench %s: only %d raw sample(s); OLS needs at least 2 — raise \
+          the quota or run limit"
+         name samples);
+  match Analyze.OLS.estimates analyzed with
+  | Some (ns :: _) when not (Float.is_nan ns) -> ns
+  | Some _ | None ->
+      failwith
+        (Printf.sprintf
+           "bench %s: OLS fit over %d samples produced no estimate" name
+           samples)
+
+let run_one ~domains test =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -95,40 +119,91 @@ let run_benchmarks () =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None
       ~stabilize:false ()
   in
+  let results =
+    Par.Pool.with_domains domains (fun () ->
+        Benchmark.all cfg [ instance ] test)
+  in
+  let analyzed = Analyze.all ols instance results in
   let measurements = ref [] in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] test in
-      let analyzed = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols ->
-          let ns =
-            match Analyze.OLS.estimates ols with
-            | Some (x :: _) -> x
-            | _ -> nan
-          in
-          measurements := (name, ns) :: !measurements;
-          Printf.printf "%-28s %12.3f ms/run\n%!" name (ns /. 1e6))
-        analyzed)
-    benchmarks;
-  List.rev !measurements
+  Hashtbl.iter
+    (fun name a ->
+      let ns = ols_estimate ~name (Hashtbl.find results name) a in
+      measurements := (name, ns) :: !measurements;
+      Printf.printf "%-34s %12.3f ms/run\n%!" name (ns /. 1e6))
+    analyzed;
+  !measurements
+
+let run_benchmarks ~domains () =
+  Printf.printf "\n=== Bechamel timings (per regeneration) ===\n%!";
+  List.concat_map (fun test -> run_one ~domains test) benchmarks
+
+(* Seq/par A-B runs: re-measure each parallelized benchmark at the
+   requested degree under a "-par" name; the baseline suite above
+   already measured the same workload pinned to one domain. *)
+let run_pairs ~domains () =
+  if domains <= 1 then []
+  else begin
+    Printf.printf "\n=== parallel variants (--domains %d) ===\n%!" domains;
+    List.concat_map
+      (fun test ->
+        List.map
+          (fun (name, ns) -> name ^ "-par", ns)
+          (run_one ~domains test))
+      (List.filter
+         (fun test -> List.mem (Test.name test) paired_names)
+         benchmarks)
+  end
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when rev <> "" -> rev
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
 
 (* Machine-readable perf snapshot (BENCH_<date>.json, schema
-   asura-bench/1) so successive PRs can track the performance
-   trajectory without re-parsing the text output. *)
-let write_json measurements =
+   asura-bench/2) so successive PRs can track the performance
+   trajectory without re-parsing the text output.  v2 adds the domain
+   count, the git revision, and seq/par pairs with their speedups;
+   baseline entries are measured pinned to one domain, "-par" entries
+   at the requested degree. *)
+let write_json ~domains measurements =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
   in
+  let pairs =
+    List.filter_map
+      (fun name ->
+        match
+          List.assoc_opt name measurements,
+          List.assoc_opt (name ^ "-par") measurements
+        with
+        | Some seq_ns, Some par_ns ->
+            Some
+              (Obs.Json.Obj
+                 [
+                   "name", Obs.Json.Str name;
+                   "seq_ns", Obs.Json.Float seq_ns;
+                   "par_ns", Obs.Json.Float par_ns;
+                   "domains", Obs.Json.Int domains;
+                   "speedup", Obs.Json.Float (seq_ns /. par_ns);
+                 ])
+        | _ -> None)
+      paired_names
+  in
   let json =
     Obs.Json.Obj
       [
-        "schema", Obs.Json.Str "asura-bench/1";
+        "schema", Obs.Json.Str "asura-bench/2";
         "date", Obs.Json.Str date;
         "ocaml", Obs.Json.Str Sys.ocaml_version;
         "word_size", Obs.Json.Int Sys.word_size;
+        "domains", Obs.Json.Int domains;
+        "git_rev", Obs.Json.Str (git_rev ());
         ( "benchmarks",
           Obs.Json.List
             (List.map
@@ -139,6 +214,7 @@ let write_json measurements =
                      "ns_per_run", Obs.Json.Float ns;
                    ])
                measurements) );
+        "pairs", Obs.Json.List pairs;
       ]
   in
   let file = Printf.sprintf "BENCH_%s.json" date in
@@ -149,16 +225,35 @@ let write_json measurements =
   Printf.printf "\nwrote %d measurements to %s\n" (List.length measurements)
     file
 
+let parse_domains () =
+  let argv = Sys.argv in
+  let domains = ref (Par.Pool.domains ()) in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--domains" && i + 1 < Array.length argv then
+        match int_of_string_opt argv.(i + 1) with
+        | Some n when n >= 1 -> domains := n
+        | Some _ | None ->
+            Printf.eprintf "bad --domains value %S\n" argv.(i + 1);
+            exit 2)
+    argv;
+  !domains
+
 let () =
   let json = Array.exists (( = ) "--json") Sys.argv in
+  let domains = parse_domains () in
   Printf.printf "ASURA coherence-protocol design toolchain: benchmark suite\n";
   if json then begin
-    (* machine-readable mode: micro-benchmarks only, plus the snapshot *)
-    let measurements = run_benchmarks () in
-    write_json measurements
+    (* machine-readable mode: micro-benchmarks only, plus the snapshot;
+       the baseline suite is pinned to one domain so snapshots stay
+       comparable across machines and settings *)
+    let baseline = run_benchmarks ~domains:1 () in
+    let measurements = baseline @ run_pairs ~domains () in
+    write_json ~domains measurements
   end
   else begin
     Printf.printf "(reproduces every table/figure of the IPPS 2003 paper)\n";
     Experiments.run_all ();
-    ignore (run_benchmarks ())
+    ignore (run_benchmarks ~domains ());
+    ignore (run_pairs ~domains ())
   end

@@ -11,14 +11,16 @@ open Cmdliner
 (* ---------------------- observability & logging ----------------------- *)
 
 (* Every subcommand takes the same setup term: -v/-q (Logs verbosity),
-   --trace FILE (Chrome trace-event export) and --stats (span/metric
-   summary on stderr).  Tracing output is finalized in an at_exit hook so
-   commands that exit 1 on a failed verdict still write their trace. *)
+   --trace FILE (Chrome trace-event export), --stats (span/metric
+   summary on stderr) and --domains N (parallelism degree).  Tracing
+   output is finalized in an at_exit hook so commands that exit 1 on a
+   failed verdict still write their trace. *)
 
-let obs_setup level trace_file stats =
+let obs_setup level trace_file stats domains =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level;
+  Option.iter Par.Pool.set_domains domains;
   if trace_file <> None || stats then begin
     Obs.Config.enable ();
     at_exit (fun () ->
@@ -57,7 +59,18 @@ let setup_term =
              (solver pruning, join cardinalities, model-checker frontier, \
              simulator queues) to standard error on exit.")
   in
-  Term.(const obs_setup $ Logs_cli.level () $ trace_file $ stats)
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N" ~env:(Cmd.Env.info "ASURA_DOMAINS")
+          ~doc:
+            "Number of OCaml domains to spread table generation, \
+             dependency composition and model-checker frontier expansion \
+             across.  1 (the default) runs the original sequential code \
+             paths; results are identical at every setting.")
+  in
+  Term.(const obs_setup $ Logs_cli.level () $ trace_file $ stats $ domains)
 
 let list_tables () =
   List.iter

@@ -79,37 +79,44 @@ let matches ~ignore_messages out inp =
   out.src = inp.src && out.dst = inp.dst && out.vc = inp.vc
   && (ignore_messages || out.msg = inp.msg)
 
-let compose ~ignore_messages ~placement (n1, t1) (n2, t2) =
+(* Pure pairwise composition — no observability recording, so it is safe
+   to run on pool worker domains; callers account the match counts after
+   the join. *)
+let compose_core ~ignore_messages ~placement (n1, t1) (n2, t2) =
   let t1 = List.map (fun e -> relocate placement e.dep) t1 in
   let t2 = List.map (fun e -> relocate placement e.dep) t2 in
-  let matched =
-    List.concat_map
-      (fun r ->
-        List.filter_map
-          (fun s ->
-            if matches ~ignore_messages r.output s.input then
-              Some
-                {
-                  dep = { input = r.input; output = s.output };
-                  provenance =
-                    Composed
-                      {
-                        first = n1;
-                        second = n2;
-                        placement;
-                        exact = not ignore_messages;
-                      };
-                }
-            else None)
-          t2)
-      t1
-  in
-  (* per-placement-relation match counts for the composition pass *)
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (fun s ->
+          if matches ~ignore_messages r.output s.input then
+            Some
+              {
+                dep = { input = r.input; output = s.output };
+                provenance =
+                  Composed
+                    {
+                      first = n1;
+                      second = n2;
+                      placement;
+                      exact = not ignore_messages;
+                    };
+              }
+          else None)
+        t2)
+    t1
+
+(* per-placement-relation match counts for the composition pass *)
+let record_matches placement matched =
   Obs.Metrics.add
     (obs_counter
        ("compose_matches."
        ^ Protocol.Topology.placement_to_string placement))
-    (List.length matched);
+    (List.length matched)
+
+let compose ~ignore_messages ~placement t1 t2 =
+  let matched = compose_core ~ignore_messages ~placement t1 t2 in
+  record_matches placement matched;
   matched
 
 let dedup entries =
@@ -124,11 +131,16 @@ let dedup entries =
     entries
 
 let compose_closure ~ignore_messages ~placements entries =
-  List.concat_map
-    (fun placement ->
-      compose ~ignore_messages ~placement ("closure", entries)
-        ("closure", entries))
-    placements
+  let parts =
+    Par.Pool.map_list ~min_chunk:1
+      (fun placement ->
+        ( placement,
+          compose_core ~ignore_messages ~placement ("closure", entries)
+            ("closure", entries) ))
+      placements
+  in
+  List.iter (fun (placement, matched) -> record_matches placement matched) parts;
+  List.concat_map snd parts
 
 let protocol_dependency ?placements ?(interleavings = true)
     ?(fixpoint = false) ~v controllers =
@@ -141,31 +153,52 @@ let protocol_dependency ?placements ?(interleavings = true)
   in
   let named =
     Obs.Trace.with_span ~cat:"checker" "checker.individual" @@ fun () ->
-    List.map
-      (fun c ->
-        let name = Protocol.Ctrl_spec.name c.Protocol.spec in
-        let deps = dedup (individual ~v c) in
+    let extracted =
+      Par.Pool.map_list ~min_chunk:1
+        (fun c ->
+          Protocol.Ctrl_spec.name c.Protocol.spec, dedup (individual ~v c))
+        controllers
+    in
+    List.iter
+      (fun (name, deps) ->
         Obs.Metrics.add
           (obs_counter ("direct_deps." ^ name))
-          (List.length deps);
-        name, deps)
-      controllers
+          (List.length deps))
+      extracted;
+    extracted
   in
   let modes = if interleavings then [ false; true ] else [ false ] in
   let composed =
     Obs.Trace.with_span ~cat:"checker" "checker.compose" @@ fun () ->
-    List.concat_map
-      (fun placement ->
-        List.concat_map
-          (fun ignore_messages ->
-            List.concat_map
-              (fun t1 ->
-                List.concat_map
-                  (fun t2 -> compose ~ignore_messages ~placement t1 t2)
-                  named)
-              named)
-          modes)
-      placements
+    (* Fan the pairwise compositions — the five quad-placement relations
+       times both matching modes times every ordered controller pair —
+       across the domain pool as independent work items.  Flattening the
+       nested iteration into a job list and concatenating results in job
+       order reproduces the sequential nesting order exactly. *)
+    let jobs =
+      List.concat_map
+        (fun placement ->
+          List.concat_map
+            (fun ignore_messages ->
+              List.concat_map
+                (fun t1 ->
+                  List.map
+                    (fun t2 -> placement, ignore_messages, t1, t2)
+                    named)
+                named)
+            modes)
+        placements
+    in
+    let parts =
+      Par.Pool.map_list ~min_chunk:1
+        (fun (placement, ignore_messages, t1, t2) ->
+          placement, compose_core ~ignore_messages ~placement t1 t2)
+        jobs
+    in
+    List.iter
+      (fun (placement, matched) -> record_matches placement matched)
+      parts;
+    List.concat_map snd parts
   in
   let base = dedup (List.concat_map snd named @ composed) in
   Obs.Metrics.set

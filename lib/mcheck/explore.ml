@@ -14,6 +14,8 @@ type result = {
   dedup_hits : int;  (** successor states already in the visited set *)
   per_depth : (int * int) list;  (** states expanded at each BFS depth *)
   max_frontier : int;  (** peak BFS queue length *)
+  states : string list option;
+      (** sorted visited-set keys, when requested with [keep_states] *)
 }
 
 let states_per_sec r =
@@ -30,19 +32,98 @@ let classify detail =
 
 let obs_reg = lazy (Obs.Metrics.registry "mcheck")
 
-let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
-  Obs.Trace.with_span ~cat:"mcheck"
-    ~args:
-      [ "nodes", Obs.Json.Int config.Semantics.nodes;
-        "addrs", Obs.Json.Int config.Semantics.addrs ]
-    "mcheck.run"
-  @@ fun () ->
-  let tables = match tables with Some t -> t | None -> Semantics.load_tables () in
-  let t0 = Sys.time () in
-  let state_key =
-    if symmetry then Mstate.canonical_key ~nodes:config.Semantics.nodes
-    else Mstate.key
-  in
+(* The visited set of the parallel engine, sharded by key hash so each
+   shard's hashtable stays small and cheap to grow as the state count
+   climbs into the hundreds of thousands.  Only the merging (spawning)
+   domain ever writes; expansion workers never touch it. *)
+module Sharded = struct
+  let shards = 64
+
+  let create () = Array.init shards (fun _ -> Hashtbl.create 256)
+  let slot key = Hashtbl.hash key land (shards - 1)
+  let mem t key = Hashtbl.mem t.(slot key) key
+  let add t key = Hashtbl.add t.(slot key) key ()
+
+  let keys t =
+    Array.fold_left
+      (fun acc h -> Hashtbl.fold (fun k () acc -> k :: acc) h acc)
+      [] t
+end
+
+(* Mutable search bookkeeping shared by the sequential and parallel
+   engines; [finish] renders it into a {!result}. *)
+type search = {
+  t0 : float;
+  mutable s_explored : int;
+  mutable s_transitions : int;
+  mutable s_max_depth : int;
+  mutable s_dedup_hits : int;
+  mutable s_max_frontier : int;
+  s_per_depth : (int, int) Hashtbl.t;
+  depth_histogram : Obs.Metrics.histogram;
+}
+
+let new_search () =
+  {
+    t0 = Sys.time ();
+    s_explored = 0;
+    s_transitions = 0;
+    s_max_depth = 0;
+    s_dedup_hits = 0;
+    s_max_frontier = 0;
+    s_per_depth = Hashtbl.create 64;
+    depth_histogram =
+      Obs.Metrics.histogram
+        ~bounds:(Obs.Metrics.exponential_bounds ~start:1. ~factor:2. 12)
+        (Lazy.force obs_reg) "expansion_depth";
+  }
+
+(* Per-state bookkeeping at expansion time, identical in both engines:
+   the frontier length is sampled before the state is counted. *)
+let expand_state sr ~frontier ~depth =
+  if frontier > sr.s_max_frontier then sr.s_max_frontier <- frontier;
+  (* sample the frontier sparsely so tracing stays cheap *)
+  if sr.s_explored land 1023 = 0 then
+    Obs.Trace.counter "mcheck.frontier" [ "queued", float_of_int frontier ];
+  sr.s_explored <- sr.s_explored + 1;
+  Hashtbl.replace sr.s_per_depth depth
+    (1 + Option.value (Hashtbl.find_opt sr.s_per_depth depth) ~default:0);
+  Obs.Metrics.observe sr.depth_histogram (float_of_int depth);
+  if depth > sr.s_max_depth then sr.s_max_depth <- depth
+
+let finish sr ~states violation complete =
+  let elapsed = Sys.time () -. sr.t0 in
+  let reg = Lazy.force obs_reg in
+  Obs.Metrics.add (Obs.Metrics.counter reg "states_explored") sr.s_explored;
+  Obs.Metrics.add (Obs.Metrics.counter reg "transitions") sr.s_transitions;
+  Obs.Metrics.add (Obs.Metrics.counter reg "dedup_hits") sr.s_dedup_hits;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge reg "states_per_sec")
+    (if elapsed <= 0. then 0. else float_of_int sr.s_explored /. elapsed);
+  Obs.Metrics.set
+    (Obs.Metrics.gauge reg "max_frontier")
+    (float_of_int sr.s_max_frontier);
+  {
+    explored = sr.s_explored;
+    transitions = sr.s_transitions;
+    max_depth = sr.s_max_depth;
+    elapsed;
+    violation;
+    complete;
+    dedup_hits = sr.s_dedup_hits;
+    per_depth =
+      List.sort compare
+        (Hashtbl.fold (fun d n acc -> (d, n) :: acc) sr.s_per_depth []);
+    max_frontier = sr.s_max_frontier;
+    states;
+  }
+
+exception Found of violation
+
+(* ------------------------- sequential engine -------------------------- *)
+
+let run_seq ~max_states ~keep_states ~state_key ~tables config =
+  let sr = new_search () in
   let initial = Mstate.initial ~nodes:config.Semantics.nodes ~addrs:config.addrs in
   let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
   let parent : (string, string * string) Hashtbl.t = Hashtbl.create 4096 in
@@ -50,14 +131,6 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
   let initial_key = state_key initial in
   Hashtbl.add visited initial_key ();
   Queue.add (initial, initial_key, 0) queue;
-  let explored = ref 0 and transitions = ref 0 and max_depth = ref 0 in
-  let dedup_hits = ref 0 and max_frontier = ref 0 in
-  let per_depth : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let depth_histogram =
-    Obs.Metrics.histogram
-      ~bounds:(Obs.Metrics.exponential_bounds ~start:1. ~factor:2. 12)
-      (Lazy.force obs_reg) "expansion_depth"
-  in
   let trace_to key =
     let rec go key acc =
       match Hashtbl.find_opt parent key with
@@ -66,48 +139,19 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
     in
     go key []
   in
-  let finish violation complete =
-    let elapsed = Sys.time () -. t0 in
-    let reg = Lazy.force obs_reg in
-    Obs.Metrics.add (Obs.Metrics.counter reg "states_explored") !explored;
-    Obs.Metrics.add (Obs.Metrics.counter reg "transitions") !transitions;
-    Obs.Metrics.add (Obs.Metrics.counter reg "dedup_hits") !dedup_hits;
-    Obs.Metrics.set
-      (Obs.Metrics.gauge reg "states_per_sec")
-      (if elapsed <= 0. then 0. else float_of_int !explored /. elapsed);
-    Obs.Metrics.set
-      (Obs.Metrics.gauge reg "max_frontier")
-      (float_of_int !max_frontier);
-    {
-      explored = !explored;
-      transitions = !transitions;
-      max_depth = !max_depth;
-      elapsed;
-      violation;
-      complete;
-      dedup_hits = !dedup_hits;
-      per_depth =
-        List.sort compare
-          (Hashtbl.fold (fun d n acc -> (d, n) :: acc) per_depth []);
-      max_frontier = !max_frontier;
-    }
+  let states () =
+    if keep_states then
+      Some
+        (List.sort compare
+           (Hashtbl.fold (fun k () acc -> k :: acc) visited []))
+    else None
   in
-  let exception Found of violation in
   try
     while not (Queue.is_empty queue) do
-      if !explored >= max_states then raise Exit;
+      if sr.s_explored >= max_states then raise Exit;
       let frontier = Queue.length queue in
-      if frontier > !max_frontier then max_frontier := frontier;
-      (* sample the frontier sparsely so tracing stays cheap *)
-      if !explored land 1023 = 0 then
-        Obs.Trace.counter "mcheck.frontier"
-          [ "queued", float_of_int frontier ];
       let st, key, depth = Queue.take queue in
-      incr explored;
-      Hashtbl.replace per_depth depth
-        (1 + Option.value (Hashtbl.find_opt per_depth depth) ~default:0);
-      Obs.Metrics.observe depth_histogram (float_of_int depth);
-      if depth > !max_depth then max_depth := depth;
+      expand_state sr ~frontier ~depth;
       (match Semantics.state_violations config st with
       | [] -> ()
       | detail :: _ ->
@@ -123,7 +167,7 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
              });
       List.iter
         (fun (label, outcome) ->
-          incr transitions;
+          sr.s_transitions <- sr.s_transitions + 1;
           match outcome with
           | Semantics.Broken detail ->
               raise
@@ -135,7 +179,8 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
                    })
           | Semantics.Next st' ->
               let key' = state_key st' in
-              if Hashtbl.mem visited key' then incr dedup_hits
+              if Hashtbl.mem visited key' then
+                sr.s_dedup_hits <- sr.s_dedup_hits + 1
               else begin
                 Hashtbl.add visited key' ();
                 Hashtbl.add parent key' (key, label);
@@ -143,10 +188,128 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables config =
               end)
         succs
     done;
-    finish None true
+    finish sr ~states:(states ()) None true
   with
-  | Exit -> finish None false
-  | Found v -> finish (Some v) true
+  | Exit -> finish sr ~states:(states ()) None false
+  | Found v -> finish sr ~states:(states ()) (Some v) true
+
+(* -------------------------- parallel engine --------------------------- *)
+
+(* Level-synchronized BFS.  The expensive per-state work — the coherence
+   check, computing all successor states by executing the controller
+   tables, and hashing each successor into its (symmetry-reduced) key —
+   runs chunk-parallel over the depth-d frontier.  The merge loop then
+   walks the expansion results in frontier order and replays exactly the
+   bookkeeping the sequential engine performs, including the frontier
+   length the FIFO queue would have had ([remaining states of this level]
+   + [successors enqueued so far]), so every counter in the result is
+   bit-identical to the sequential run. *)
+let run_par ~max_states ~keep_states ~state_key ~tables config =
+  let sr = new_search () in
+  let initial = Mstate.initial ~nodes:config.Semantics.nodes ~addrs:config.addrs in
+  let visited = Sharded.create () in
+  let parent : (string, string * string) Hashtbl.t = Hashtbl.create 4096 in
+  let initial_key = state_key initial in
+  Sharded.add visited initial_key;
+  let trace_to key =
+    let rec go key acc =
+      match Hashtbl.find_opt parent key with
+      | None -> acc
+      | Some (pkey, label) -> go pkey (label :: acc)
+    in
+    go key []
+  in
+  let states () =
+    if keep_states then Some (List.sort compare (Sharded.keys visited))
+    else None
+  in
+  try
+    let frontier = ref [| initial, initial_key |] in
+    let depth = ref 0 in
+    while Array.length !frontier > 0 do
+      let level = !frontier in
+      let expansions =
+        Par.Pool.map_array ~min_chunk:4
+          (fun (st, _key) ->
+            let violations = Semantics.state_violations config st in
+            let succs =
+              List.map
+                (fun (label, outcome) ->
+                  match outcome with
+                  | Semantics.Next st' -> label, outcome, state_key st'
+                  | Semantics.Broken _ -> label, outcome, "")
+                (Semantics.successors tables config st)
+            in
+            violations, succs, Mstate.quiescent st)
+          level
+      in
+      let next = ref [] and next_count = ref 0 in
+      Array.iteri
+        (fun i (violations, succs, quiescent) ->
+          let _, key = level.(i) in
+          if sr.s_explored >= max_states then raise Exit;
+          let frontier_len = Array.length level - i + !next_count in
+          expand_state sr ~frontier:frontier_len ~depth:!depth;
+          (match violations with
+          | [] -> ()
+          | detail :: _ ->
+              raise (Found { kind = `Coherence; detail; trace = trace_to key }));
+          if succs = [] && not quiescent then
+            raise
+              (Found
+                 {
+                   kind = `Deadlock;
+                   detail = "no transition enabled but work is pending";
+                   trace = trace_to key;
+                 });
+          List.iter
+            (fun (label, outcome, key') ->
+              sr.s_transitions <- sr.s_transitions + 1;
+              match outcome with
+              | Semantics.Broken detail ->
+                  raise
+                    (Found
+                       {
+                         kind = classify detail;
+                         detail;
+                         trace = trace_to key @ [ label ];
+                       })
+              | Semantics.Next st' ->
+                  if Sharded.mem visited key' then
+                    sr.s_dedup_hits <- sr.s_dedup_hits + 1
+                  else begin
+                    Sharded.add visited key';
+                    Hashtbl.add parent key' (key, label);
+                    next := (st', key') :: !next;
+                    incr next_count
+                  end)
+            succs)
+        expansions;
+      frontier := Array.of_list (List.rev !next);
+      incr depth
+    done;
+    finish sr ~states:(states ()) None true
+  with
+  | Exit -> finish sr ~states:(states ()) None false
+  | Found v -> finish sr ~states:(states ()) (Some v) true
+
+let run ?(max_states = 200_000) ?(symmetry = false) ?tables
+    ?(keep_states = false) config =
+  Obs.Trace.with_span ~cat:"mcheck"
+    ~args:
+      [ "nodes", Obs.Json.Int config.Semantics.nodes;
+        "addrs", Obs.Json.Int config.Semantics.addrs;
+        "domains", Obs.Json.Int (Par.Pool.domains ()) ]
+    "mcheck.run"
+  @@ fun () ->
+  let tables = match tables with Some t -> t | None -> Semantics.load_tables () in
+  let state_key =
+    if symmetry then Mstate.canonical_key ~nodes:config.Semantics.nodes
+    else Mstate.key
+  in
+  if Par.Pool.sequential () then
+    run_seq ~max_states ~keep_states ~state_key ~tables config
+  else run_par ~max_states ~keep_states ~state_key ~tables config
 
 let pp_result fmt r =
   Format.fprintf fmt

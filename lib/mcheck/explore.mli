@@ -21,6 +21,8 @@ type result = {
   dedup_hits : int;  (** successors already in the visited set *)
   per_depth : (int * int) list;  (** states expanded per BFS depth *)
   max_frontier : int;  (** peak BFS queue length *)
+  states : string list option;
+      (** sorted visited-set keys, when requested with [keep_states] *)
 }
 
 val states_per_sec : result -> float
@@ -32,6 +34,7 @@ val run :
   ?max_states:int ->
   ?symmetry:bool ->
   ?tables:Semantics.tables ->
+  ?keep_states:bool ->
   Semantics.config ->
   result
 (** BFS from the all-invalid initial state.  [max_states] (default
@@ -40,7 +43,15 @@ val run :
     representative per node-permutation orbit
     ({!Mstate.canonical_key}) — same verdicts, far fewer states;
     counterexample traces then describe a representative of each orbit
-    rather than the literal interleaving. *)
+    rather than the literal interleaving.  [keep_states] (default false)
+    returns the sorted visited-set keys in {!field-states}, used by the
+    differential test suite to compare reachable-state sets.
+
+    When {!Par.Pool.domains} is above one, each BFS level is expanded in
+    parallel across the domain pool (level-synchronized BFS with a
+    sharded dedup set); the merge replays the sequential bookkeeping in
+    frontier order, so verdicts, traces, and every counter in the result
+    are identical to the single-domain run. *)
 
 val pp_result : Format.formatter -> result -> unit
 

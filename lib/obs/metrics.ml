@@ -35,7 +35,20 @@ type registry = {
 let registries : (string, registry) Hashtbl.t = Hashtbl.create 8
 let registry_order : string list ref = ref []
 
+(* One lock covers handle creation and all enabled-mode mutation, making
+   every entry point safe to call from any domain.  The parallel kernels
+   deliberately keep their workers metric-free (per-chunk deltas are
+   merged by the spawning domain at pool join), so this lock is
+   uncontended in practice; it exists so stray instrumentation in shared
+   code can never corrupt a registry. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let registry name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registries name with
   | Some r -> r
   | None ->
@@ -52,9 +65,10 @@ let registry name =
       r
 
 let all_registries () =
-  List.rev_map (Hashtbl.find registries) !registry_order
+  locked (fun () -> List.rev_map (Hashtbl.find registries) !registry_order)
 
 let memo tbl name make =
+  locked @@ fun () ->
   match Hashtbl.find_opt tbl name with
   | Some v -> v
   | None ->
@@ -67,8 +81,8 @@ let memo tbl name make =
 let counter reg name =
   memo reg.counters name (fun () -> { c_name = name; count = 0 })
 
-let incr c = if Config.on () then c.count <- c.count + 1
-let add c n = if Config.on () then c.count <- c.count + n
+let incr c = if Config.on () then locked (fun () -> c.count <- c.count + 1)
+let add c n = if Config.on () then locked (fun () -> c.count <- c.count + n)
 let count c = c.count
 
 let aggregate name =
@@ -86,11 +100,11 @@ let gauge reg name =
       { g_name = name; value = 0.; g_max = neg_infinity; samples = 0 })
 
 let set g v =
-  if Config.on () then begin
-    g.value <- v;
-    if v > g.g_max then g.g_max <- v;
-    g.samples <- g.samples + 1
-  end
+  if Config.on () then
+    locked (fun () ->
+        g.value <- v;
+        if v > g.g_max then g.g_max <- v;
+        g.samples <- g.samples + 1)
 
 let gauge_value g = g.value
 let gauge_max g = if g.samples = 0 then 0. else g.g_max
@@ -125,14 +139,14 @@ let bucket_index bounds v =
   go 0
 
 let observe h v =
-  if Config.on () then begin
-    let i = bucket_index h.bounds v in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.sum <- h.sum +. v;
-    h.n <- h.n + 1;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
-  end
+  if Config.on () then
+    locked (fun () ->
+        let i = bucket_index h.bounds v in
+        h.counts.(i) <- h.counts.(i) + 1;
+        h.sum <- h.sum +. v;
+        h.n <- h.n + 1;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v)
 
 let observations h = h.n
 let mean h = if h.n = 0 then 0. else h.sum /. float_of_int h.n
@@ -155,8 +169,9 @@ let quantile h q =
 (* ------------------------------- reset -------------------------------- *)
 
 let reset () =
-  List.iter
-    (fun r ->
+  locked @@ fun () ->
+  Hashtbl.iter
+    (fun _ r ->
       Hashtbl.iter (fun _ c -> c.count <- 0) r.counters;
       Hashtbl.iter
         (fun _ g ->
@@ -172,9 +187,10 @@ let reset () =
           h.h_min <- infinity;
           h.h_max <- neg_infinity)
         r.histograms)
-    (all_registries ())
+    registries
 
 let clear () =
+  locked @@ fun () ->
   Hashtbl.reset registries;
   registry_order := []
 

@@ -17,38 +17,66 @@ type event =
       ts_us : float;  (** microseconds since the first recorded event *)
       dur_us : float;
       depth : int;  (** nesting depth at the time the span was open *)
+      tid : int;  (** recording domain, the Chrome-trace thread track *)
       args : args;
     }
-  | Instant of { name : string; cat : string; ts_us : float; args : args }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      tid : int;
+      args : args;
+    }
   | Counter of { name : string; ts_us : float; values : (string * float) list }
 
+(* The buffer and epoch are shared across domains; one mutex guards them.
+   Recording only happens while tracing is enabled, so the disabled hot
+   path still pays a single load-and-branch and never touches the lock. *)
+let lock = Mutex.create ()
 let buffer : event list ref = ref []
 let epoch : int64 option ref = ref None
-let nesting = ref 0
+
+(* Span nesting is a per-domain notion: a worker's spans must not skew
+   the depth bookkeeping of the domain that spawned it. *)
+let nesting_key = Domain.DLS.new_key (fun () -> ref 0)
+let nesting () = Domain.DLS.get nesting_key
+let tid () = (Domain.self () :> int)
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let reset () =
-  buffer := [];
-  epoch := None;
-  nesting := 0
+  locked (fun () ->
+      buffer := [];
+      epoch := None);
+  nesting () := 0
 
-let now_us () =
+(* Callers must hold [lock]. *)
+let now_us_unlocked () =
   match !epoch with
   | Some e -> Clock.to_us (Int64.sub (Clock.now_ns ()) e)
   | None ->
       epoch := Some (Clock.now_ns ());
       0.
 
-let record ev = buffer := ev :: !buffer
+let now_us () = locked now_us_unlocked
+
+let record ev = locked (fun () -> buffer := ev :: !buffer)
 
 let with_span ?(cat = "app") ?(args = []) name f =
   if not (Config.on ()) then f ()
   else begin
     let ts = now_us () in
+    let tid = tid () in
+    let nesting = nesting () in
     let depth = !nesting in
     incr nesting;
     let finish () =
       decr nesting;
-      record (Complete { name; cat; ts_us = ts; dur_us = now_us () -. ts; depth; args })
+      record
+        (Complete
+           { name; cat; ts_us = ts; dur_us = now_us () -. ts; depth; tid; args })
     in
     match f () with
     | v ->
@@ -60,32 +88,33 @@ let with_span ?(cat = "app") ?(args = []) name f =
   end
 
 let instant ?(cat = "app") ?(args = []) name =
-  if Config.on () then record (Instant { name; cat; ts_us = now_us (); args })
+  if Config.on () then
+    record (Instant { name; cat; ts_us = now_us (); tid = tid (); args })
 
 let counter name values =
   if Config.on () then record (Counter { name; ts_us = now_us (); values })
 
-let events () = List.rev !buffer
+let events () = locked (fun () -> List.rev !buffer)
 
 (* ------------------------- chrome trace export ------------------------ *)
 
 let event_to_json ev =
-  let common name cat ph ts =
+  let common name cat ph ts tid =
     [ "name", Json.Str name; "cat", Json.Str cat; "ph", Json.Str ph;
-      "ts", Json.Float ts; "pid", Json.Int 1; "tid", Json.Int 1 ]
+      "ts", Json.Float ts; "pid", Json.Int 1; "tid", Json.Int tid ]
   in
   match ev with
-  | Complete { name; cat; ts_us; dur_us; args; depth = _ } ->
+  | Complete { name; cat; ts_us; dur_us; args; tid; depth = _ } ->
       Json.Obj
-        (common name cat "X" ts_us
+        (common name cat "X" ts_us tid
         @ [ "dur", Json.Float dur_us; "args", Json.Obj args ])
-  | Instant { name; cat; ts_us; args } ->
+  | Instant { name; cat; ts_us; tid; args } ->
       Json.Obj
-        (common name cat "i" ts_us
+        (common name cat "i" ts_us tid
         @ [ "s", Json.Str "t"; "args", Json.Obj args ])
   | Counter { name; ts_us; values } ->
       Json.Obj
-        (common name "counter" "C" ts_us
+        (common name "counter" "C" ts_us 0
         @ [ "args", Json.Obj (List.map (fun (k, v) -> k, Json.Float v) values) ])
 
 let to_json () =

@@ -13,10 +13,24 @@ type event =
       ts_us : float;  (** microseconds since the first recorded event *)
       dur_us : float;
       depth : int;  (** nesting depth when the span opened (0 = root) *)
+      tid : int;
+          (** id of the domain that recorded the span — each domain gets
+              its own thread track in the Chrome-trace view, so worker
+              chunks of a parallel kernel appear under the domain that
+              ran them *)
       args : args;
     }
-  | Instant of { name : string; cat : string; ts_us : float; args : args }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      tid : int;
+      args : args;
+    }
   | Counter of { name : string; ts_us : float; values : (string * float) list }
+
+(** Recording is safe from any domain: the buffer is mutex-guarded and
+    span nesting depth is tracked per domain. *)
 
 val with_span : ?cat:string -> ?args:args -> string -> (unit -> 'a) -> 'a
 (** Time a thunk; the span is recorded when it returns (also on

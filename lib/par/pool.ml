@@ -1,0 +1,184 @@
+(* Persistent domain pool with chunked, deterministic parallel map.
+
+   Worker domains block on a condition variable waiting for jobs; a
+   parallel region enqueues one job per chunk (minus one, which the
+   calling domain runs itself), then waits on a per-region latch.  Chunk
+   results land in slot [i] of a result array, so the merge order is
+   fixed by construction no matter which domain finishes first. *)
+
+(* ------------------------- parallelism degree ------------------------- *)
+
+let env_domains () =
+  match Sys.getenv_opt "ASURA_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+let requested = Atomic.make (env_domains ())
+let available () = Domain.recommended_domain_count ()
+let domains () = Atomic.get requested
+let set_domains n = Atomic.set requested (max 1 n)
+
+let with_domains n f =
+  let prev = domains () in
+  set_domains n;
+  Fun.protect ~finally:(fun () -> set_domains prev) f
+
+(* Workers mark themselves so a parallel call made from inside a chunk
+   function degrades to the sequential path instead of re-entering (and
+   possibly starving) the pool. *)
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+let sequential () = in_worker () || domains () <= 1
+
+(* ------------------------------ the pool ------------------------------ *)
+
+type pool = {
+  lock : Mutex.t;
+  work_available : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable workers : int;  (** domains spawned so far *)
+}
+
+let pool =
+  {
+    lock = Mutex.create ();
+    work_available = Condition.create ();
+    jobs = Queue.create ();
+    workers = 0;
+  }
+
+let worker_loop () =
+  Domain.DLS.set in_worker_key true;
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.jobs do
+      Condition.wait pool.work_available pool.lock
+    done;
+    let job = Queue.pop pool.jobs in
+    Mutex.unlock pool.lock;
+    job ();
+    loop ()
+  in
+  loop ()
+
+(* Workers are never joined: they idle on the condition variable and die
+   with the process.  [ensure_workers] grows the pool to the high-water
+   mark of requested degrees. *)
+let ensure_workers n =
+  Mutex.lock pool.lock;
+  let missing = n - pool.workers in
+  if missing > 0 then begin
+    pool.workers <- n;
+    Mutex.unlock pool.lock;
+    for _ = 1 to missing do
+      ignore (Domain.spawn worker_loop : unit Domain.t)
+    done
+  end
+  else Mutex.unlock pool.lock
+
+(* Run every thunk, chunk 0 on the calling domain, the rest on workers;
+   return only once all have finished.  The first exception (by chunk
+   index) is re-raised in the calling domain after the join, so a failing
+   chunk cannot leave workers writing into freed result slots. *)
+let run_chunks (thunks : (unit -> unit) array) =
+  let n = Array.length thunks in
+  if n = 1 then thunks.(0) ()
+  else begin
+    ensure_workers (n - 1);
+    let failures = Array.make n None in
+    let remaining = Atomic.make (n - 1) in
+    let done_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let guarded i f () =
+      (try f () with e -> failures.(i) <- Some e);
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_lock;
+        Condition.signal all_done;
+        Mutex.unlock done_lock
+      end
+    in
+    Mutex.lock pool.lock;
+    for i = 1 to n - 1 do
+      Queue.push (guarded i thunks.(i)) pool.jobs
+    done;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    (try thunks.(0) () with e -> failures.(0) <- Some e);
+    Mutex.lock done_lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done done_lock
+    done;
+    Mutex.unlock done_lock;
+    Array.iter (function Some e -> raise e | None -> ()) failures
+  end
+
+(* ------------------------- chunked entry points ------------------------ *)
+
+let degree ?(min_chunk = 1) n =
+  if sequential () || n <= min_chunk then 1
+  else min (domains ()) (max 1 (n / max 1 min_chunk))
+
+(* Contiguous (offset, length) ranges with sizes differing by at most 1. *)
+let ranges n d =
+  let base = n / d and extra = n mod d in
+  Array.init d (fun i ->
+      (i * base) + min i extra, base + if i < extra then 1 else 0)
+
+let map_chunks ?min_chunk f a =
+  let n = Array.length a in
+  let d = degree ?min_chunk n in
+  if d <= 1 then [| f a |]
+  else begin
+    let rs = ranges n d in
+    let out = Array.make d None in
+    run_chunks
+      (Array.init d (fun i () ->
+           let lo, len = rs.(i) in
+           out.(i) <- Some (f (Array.sub a lo len))));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_array ?min_chunk f a =
+  let d = degree ?min_chunk (Array.length a) in
+  if d <= 1 then Array.map f a
+  else
+    Array.concat (Array.to_list (map_chunks ?min_chunk (Array.map f) a))
+
+let map_list ?min_chunk f l =
+  let d = degree ?min_chunk (List.length l) in
+  if d <= 1 then List.map f l
+  else
+    Array.to_list (map_array ?min_chunk f (Array.of_list l))
+
+let concat_map_list ?min_chunk f l =
+  let d = degree ?min_chunk (List.length l) in
+  if d <= 1 then List.concat_map f l
+  else
+    List.concat
+      (Array.to_list
+         (map_chunks ?min_chunk
+            (fun chunk -> List.concat_map f (Array.to_list chunk))
+            (Array.of_list l)))
+
+let filter_list ?min_chunk p l =
+  let d = degree ?min_chunk (List.length l) in
+  if d <= 1 then List.filter p l
+  else
+    List.concat
+      (Array.to_list
+         (map_chunks ?min_chunk
+            (fun chunk -> List.filter p (Array.to_list chunk))
+            (Array.of_list l)))
+
+let map_reduce ?min_chunk ~map ~merge ~init a =
+  let parts =
+    map_chunks ?min_chunk
+      (fun chunk ->
+        Array.fold_left (fun acc x -> merge acc (map x)) init chunk)
+      a
+  in
+  if Array.length parts = 1 then parts.(0)
+  else Array.fold_left merge init parts

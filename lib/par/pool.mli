@@ -1,0 +1,81 @@
+(** A dependency-free domain pool for the data-parallel kernels.
+
+    The paper's whole methodology is bulk relational work — cross-product
+    pruning, pairwise composition, breadth-first reachability — and those
+    kernels split into independent chunks whose results only need to be
+    concatenated back in chunk order.  This module provides exactly that:
+    chunked parallel map / map-reduce over arrays and lists with a
+    {e deterministic merge order}, so the parallel result is structurally
+    identical to the sequential one, element for element.
+
+    Worker domains are spawned lazily on first use and then persist,
+    blocked on a condition variable, so a long run pays the spawn cost
+    once.  With [domains () <= 1] every entry point falls back to the
+    plain [Stdlib] sequential implementation ([List.map],
+    [List.concat_map], …), making the sequential path byte-identical to a
+    build without this module.
+
+    Determinism contract: callers must pass chunk functions that are pure
+    (no shared mutable state, no I/O, no observability recording); all
+    bookkeeping belongs in the spawning domain, after the join.  Chunk
+    results are merged left-to-right in chunk index order.
+
+    Nested parallel regions are not parallelized: a call made from inside
+    a worker runs sequentially, so kernels freely compose without
+    deadlocking the pool. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count ()] — what the hardware offers. *)
+
+val domains : unit -> int
+(** Current parallelism degree.  Initialized from the [ASURA_DOMAINS]
+    environment variable (default [1]); [--domains N] on the CLI calls
+    {!set_domains}. *)
+
+val set_domains : int -> unit
+(** Set the parallelism degree (clamped to at least 1). *)
+
+val with_domains : int -> (unit -> 'a) -> 'a
+(** Run a thunk under a temporary parallelism degree, restoring the
+    previous degree afterwards (exception-safe). *)
+
+val sequential : unit -> bool
+(** [domains () <= 1], or the caller is itself a pool worker. *)
+
+val in_worker : unit -> bool
+(** Is the calling domain a pool worker? *)
+
+val degree : ?min_chunk:int -> int -> int
+(** [degree ~min_chunk n]: how many chunks {!map_chunks} would split [n]
+    items into — [1] means the sequential fallback.  Each chunk gets at
+    least [min_chunk] items (default [1]). *)
+
+val map_chunks : ?min_chunk:int -> ('a array -> 'b) -> 'a array -> 'b array
+(** Split the input into [degree] contiguous chunks, apply [f] to each
+    chunk (in parallel when [degree > 1]), and return the per-chunk
+    results in chunk order.  With one chunk this is [[| f input |]] run in
+    the calling domain. *)
+
+val map_array : ?min_chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with index-aligned (deterministic) output. *)
+
+val map_list : ?min_chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map], preserving order. *)
+
+val concat_map_list : ?min_chunk:int -> ('a -> 'b list) -> 'a list -> 'b list
+(** Parallel [List.concat_map], preserving order. *)
+
+val filter_list : ?min_chunk:int -> ('a -> bool) -> 'a list -> 'a list
+(** Parallel [List.filter], preserving order. *)
+
+val map_reduce :
+  ?min_chunk:int ->
+  map:('a -> 'b) ->
+  merge:('b -> 'b -> 'b) ->
+  init:'b ->
+  'a array ->
+  'b
+(** Each chunk folds [merge acc (map x)] left-to-right from [init]; chunk
+    results are then merged left-to-right in chunk order.  Equal to the
+    sequential fold whenever [merge] is associative with [init] as a left
+    identity. *)

@@ -1,9 +1,19 @@
 exception Schema_clash of string
 exception Incompatible_schemas of string
 
+(* Chunk sizes below which the pool is not worth waking: selections and
+   join probes are cheap per row, so parallelism only pays on bulk scans. *)
+let select_min_chunk = 1024
+let probe_min_chunk = 512
+
 let select ?funcs pred t =
   let check = Expr.compile ?funcs (Table.schema t) pred in
-  Table.filter check t
+  let rows = Table.rows t in
+  if Par.Pool.degree ~min_chunk:select_min_chunk (List.length rows) <= 1 then
+    Table.filter check t
+  else
+    Table.of_rows ~name:(Table.name t) (Table.schema t)
+      (Par.Pool.filter_list ~min_chunk:select_min_chunk check rows)
 
 let project cols t =
   let schema = Table.schema t in
@@ -88,8 +98,11 @@ let equi_join ~on ta tb =
       let existing = Option.value (Row.Tbl.find_opt index k) ~default:[] in
       Row.Tbl.replace index k (rb :: existing))
     (Table.rows tb);
+  (* The build side is immutable once populated, so probe chunks may read
+     it from several domains concurrently; probe results concatenate in
+     row order, matching the sequential concat_map exactly. *)
   let rows =
-    List.concat_map
+    Par.Pool.concat_map_list ~min_chunk:probe_min_chunk
       (fun ra ->
         match Row.Tbl.find_opt index (key_of ra a_keys) with
         | None -> []

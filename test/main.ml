@@ -12,6 +12,8 @@ let () =
       "plans-and-csv", Test_plan.suite;
       "indexes-and-physical-plans", Test_physical.suite;
       "graphs", Test_graph.suite;
+      "relalg-properties", Test_relalg_props.suite;
+      "seq-vs-par-differential", Test_par_diff.suite;
       "protocol-model", Test_protocol.suite;
       "ctrl-spec-properties", Test_ctrl_spec_props.suite;
       "checker", Test_checker.suite;

@@ -81,8 +81,8 @@ let prop_inputs_subset =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_rows_satisfy_some_guard;
-    QCheck_alcotest.to_alcotest prop_deterministic;
-    QCheck_alcotest.to_alcotest prop_monotone;
-    QCheck_alcotest.to_alcotest prop_inputs_subset;
+    Test_seed.to_alcotest prop_rows_satisfy_some_guard;
+    Test_seed.to_alcotest prop_deterministic;
+    Test_seed.to_alcotest prop_monotone;
+    Test_seed.to_alcotest prop_inputs_subset;
   ]

@@ -128,6 +128,6 @@ let suite =
     Alcotest.test_case "connectives" `Quick test_connectives;
     Alcotest.test_case "registered functions" `Quick test_functions;
     Alcotest.test_case "free columns" `Quick test_free_columns;
-    QCheck_alcotest.to_alcotest prop_compile_agrees;
-    QCheck_alcotest.to_alcotest prop_ternary_expansion;
+    Test_seed.to_alcotest prop_compile_agrees;
+    Test_seed.to_alcotest prop_ternary_expansion;
   ]

@@ -101,6 +101,41 @@ let prop_scc_vs_johnson =
       let g = g_of edges in
       Scc.is_acyclic g = (Cycles.enumerate g = []))
 
+(* Brute-force elementary-cycle oracle: every elementary cycle has a
+   unique smallest vertex [s], and is found exactly once by a DFS from
+   [s] that only passes through vertices greater than [s]. *)
+let brute_force_cycles g =
+  let cycles = ref [] in
+  List.iter
+    (fun s ->
+      let rec dfs path v =
+        List.iter
+          (fun (w, ()) ->
+            if w = s then cycles := List.rev path :: !cycles
+            else if w > s && not (List.mem w path) then dfs (w :: path) w)
+          (Digraph.successors g v)
+      in
+      dfs [ s ] s)
+    (Digraph.vertices g);
+  List.sort compare !cycles
+
+let small_digraph_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 8 in
+    let vertex = map (Printf.sprintf "v%d") (int_bound (n - 1)) in
+    list_size (int_bound 14) (pair vertex vertex))
+
+let prop_johnson_vs_brute_force =
+  QCheck.Test.make ~count:500
+    ~name:"Johnson enumeration matches the brute-force oracle (<= 8 nodes)"
+    (QCheck.make small_digraph_gen ~print:(fun edges ->
+         String.concat " " (List.map (fun (a, b) -> a ^ "->" ^ b) edges)))
+    (fun edges ->
+      let g = g_of edges in
+      List.sort compare
+        (List.map (fun (c : _ Cycles.cycle) -> c.nodes) (Cycles.enumerate g))
+      = brute_force_cycles g)
+
 let suite =
   [
     Alcotest.test_case "digraph basics" `Quick test_digraph_basics;
@@ -110,6 +145,7 @@ let suite =
     Alcotest.test_case "cycle limit" `Quick test_cycle_limit;
     Alcotest.test_case "labels along cycles" `Quick test_labels_along_cycle;
     Alcotest.test_case "dot export" `Quick test_dot;
-    QCheck_alcotest.to_alcotest prop_dag_no_cycles;
-    QCheck_alcotest.to_alcotest prop_scc_vs_johnson;
+    Test_seed.to_alcotest prop_dag_no_cycles;
+    Test_seed.to_alcotest prop_scc_vs_johnson;
+    Test_seed.to_alcotest prop_johnson_vs_brute_force;
   ]

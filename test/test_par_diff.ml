@@ -1,0 +1,224 @@
+(* Differential seq-vs-par properties: every parallel code path must
+   produce results structurally identical to the sequential engine at
+   any domain count.  Each property draws a random workload and runs it
+   pinned to 1, 2 and 4 domains; any divergence — rows, statistics,
+   dependency entries, VCG edges, cycles, model-checker verdicts or the
+   reachable-state set itself — fails the property. *)
+
+open Relalg
+
+let domains_swept = [ 1; 2; 4 ]
+
+(* Run [f] at every domain count and check all observations agree. *)
+let agree f =
+  match List.map (fun d -> Par.Pool.with_domains d f) domains_swept with
+  | [] -> true
+  | r :: rest -> List.for_all (( = ) r) rest
+
+(* ------------------------- solver differential ------------------------ *)
+
+let value_pool = [ "a"; "b"; "c"; "d" ]
+
+let spec_gen =
+  QCheck.Gen.(
+    let nonempty_sub pool =
+      let* mask = list_repeat (List.length pool) bool in
+      let chosen = List.filteri (fun i _ -> List.nth mask i) pool in
+      return (if chosen = [] then [ List.hd pool ] else chosen)
+    in
+    let* ncols = int_range 2 4 in
+    let names = List.init ncols (Printf.sprintf "c%d") in
+    let* cols =
+      flatten_l
+        (List.mapi
+           (fun i name ->
+             let* dom = nonempty_sub value_pool in
+             return
+               {
+                 Solver.cname = name;
+                 role = (if i < ncols - 1 then Solver.Input else Solver.Output);
+                 domain = List.map (fun s -> Value.Str s) dom;
+               })
+           names)
+    in
+    let* constraints =
+      flatten_l
+        (List.map
+           (fun name ->
+             let* kind = int_bound 3 in
+             let* vs = nonempty_sub value_pool in
+             let* other = oneofl names in
+             let e =
+               match kind with
+               | 0 -> Expr.True
+               | 1 -> Expr.isin name vs
+               | 2 -> Expr.Eq (Expr.col name, Expr.col other)
+               | _ -> Expr.Not (Expr.Eq (Expr.col name, Expr.col other))
+             in
+             return (name, e))
+           names)
+    in
+    return (Solver.make ~name:"rand" ~columns:cols ~constraints))
+
+let spec_arb =
+  QCheck.make spec_gen ~print:(fun s ->
+      String.concat ","
+        (List.map (fun c -> c.Solver.cname) (Solver.columns s)))
+
+let observe_generation (tbl, stats) =
+  ( Schema.columns (Table.schema tbl),
+    Table.rows tbl,
+    stats.Solver.candidates,
+    stats.Solver.evaluations,
+    stats.Solver.per_column )
+
+let prop_generate_diff =
+  QCheck.Test.make ~count:500
+    ~name:"incremental generation identical across 1/2/4 domains" spec_arb
+    (fun s -> agree (fun () -> observe_generation (Solver.generate s)))
+
+let prop_monolithic_diff =
+  QCheck.Test.make ~count:500
+    ~name:"monolithic generation identical across 1/2/4 domains" spec_arb
+    (fun s ->
+      agree (fun () -> observe_generation (Solver.generate_monolithic s)))
+
+(* --------------------- relational-operator differential --------------- *)
+
+let wide_table_gen =
+  QCheck.Gen.(
+    let* n = int_range 0 1500 in
+    let* rows =
+      list_repeat n
+        (let* k = oneofl value_pool in
+         let* x = int_bound 9 in
+         return [| Value.Str k; Value.Int x |])
+    in
+    return (Table.of_rows ~name:"t" (Schema.of_list [ "k"; "x" ]) rows))
+
+let prop_select_diff =
+  QCheck.Test.make ~count:100
+    ~name:"parallel selection identical across 1/2/4 domains"
+    (QCheck.make
+       QCheck.Gen.(pair wide_table_gen (oneofl value_pool))
+       ~print:(fun (t, v) ->
+         Printf.sprintf "%d rows, k=%s" (Table.cardinality t) v))
+    (fun (t, v) ->
+      agree (fun () -> Table.rows (Ops.select (Expr.eq "k" v) t)))
+
+let prop_join_diff =
+  QCheck.Test.make ~count:100
+    ~name:"parallel hash-join probe identical across 1/2/4 domains"
+    (QCheck.make
+       QCheck.Gen.(pair wide_table_gen wide_table_gen)
+       ~print:(fun (a, b) ->
+         Printf.sprintf "%d x %d rows" (Table.cardinality a)
+           (Table.cardinality b)))
+    (fun (a, b) ->
+      let b = Ops.rename [ "k", "k"; "x", "y" ] b in
+      agree (fun () -> Table.rows (Ops.equi_join ~on:[ "k", "k" ] a b)))
+
+(* ----------------------- deadlock-check differential ------------------ *)
+
+let assignment_gen =
+  QCheck.Gen.(
+    let* base = oneofl Checker.Vcassign.standard in
+    let* tweaks = int_bound 3 in
+    let channels =
+      Checker.Vcassign.
+        [ vc0; vc1; vc2; vc3; vc4 ]
+    in
+    let rec tweak v k =
+      if k = 0 || v.Checker.Vcassign.rows = [] then return v
+      else
+        let* row = oneofl v.Checker.Vcassign.rows in
+        let* vc = oneofl channels in
+        tweak
+          (Checker.Vcassign.reassign v ~msg:row.Checker.Vcassign.msg
+             ~src:row.Checker.Vcassign.src ~dst:row.Checker.Vcassign.dst ~vc)
+          (k - 1)
+    in
+    tweak base tweaks)
+
+let nonempty_sublist_gen xs =
+  QCheck.Gen.(
+    let* mask = list_repeat (List.length xs) bool in
+    let chosen = List.filteri (fun i _ -> List.nth mask i) xs in
+    return (if chosen = [] then [ List.hd xs ] else chosen))
+
+let deadlock_case_gen =
+  QCheck.Gen.(
+    let* v = assignment_gen in
+    let* controllers = nonempty_sublist_gen Protocol.deadlock_controllers in
+    let* placements = nonempty_sublist_gen Protocol.Topology.all_placements in
+    let* interleavings = bool in
+    return (v, controllers, placements, interleavings))
+
+let observe_report (r : Checker.Deadlock.report) =
+  ( List.map (fun e -> e.Checker.Dependency.dep) r.entries,
+    List.map
+      (fun (src, dst, label) ->
+        src, dst, List.map (fun e -> e.Checker.Dependency.dep) label)
+      (Vcgraph.Digraph.edges r.vcg),
+    List.map (fun (c : _ Vcgraph.Cycles.cycle) -> c.nodes) r.cycles )
+
+let prop_deadlock_diff =
+  QCheck.Test.make ~count:500
+    ~name:
+      "dependency table, VCG edges and cycles identical across 1/2/4 domains"
+    (QCheck.make deadlock_case_gen ~print:(fun (v, cs, ps, il) ->
+         Printf.sprintf "%s, %d controllers, %d placements, interleavings=%b"
+           v.Checker.Vcassign.name (List.length cs) (List.length ps) il))
+    (fun (v, controllers, placements, interleavings) ->
+      agree (fun () ->
+          observe_report
+            (Checker.Deadlock.analyze ~placements ~interleavings ~controllers
+               v)))
+
+(* ------------------------- mcheck differential ------------------------ *)
+
+let mcheck_tables = lazy (Mcheck.Semantics.load_tables ())
+
+let mcheck_case_gen =
+  QCheck.Gen.(
+    let* ops = nonempty_sublist_gen [ "load"; "store" ] in
+    let* evictions = bool in
+    let* capacity = int_range 1 3 in
+    let* max_states = int_range 60 150 in
+    let* symmetry = bool in
+    let ops = if evictions then ops @ [ "evict" ] else ops in
+    return
+      ( { Mcheck.Semantics.nodes = 2; addrs = 1; ops; capacity; io_addrs = [];
+          lossy = false },
+        max_states,
+        symmetry ))
+
+let observe_mcheck (r : Mcheck.Explore.result) =
+  (* everything except wall-clock time *)
+  ( r.explored, r.transitions, r.max_depth, r.violation, r.complete,
+    r.dedup_hits, r.per_depth, r.max_frontier, r.states )
+
+let prop_mcheck_diff =
+  QCheck.Test.make ~count:500
+    ~name:
+      "model-checker verdict and reachable-state set identical across 1/2/4 \
+       domains"
+    (QCheck.make mcheck_case_gen ~print:(fun (cfg, max_states, symmetry) ->
+         Printf.sprintf "ops=[%s] capacity=%d max_states=%d symmetry=%b"
+           (String.concat ";" cfg.Mcheck.Semantics.ops)
+           cfg.Mcheck.Semantics.capacity max_states symmetry))
+    (fun (cfg, max_states, symmetry) ->
+      agree (fun () ->
+          observe_mcheck
+            (Mcheck.Explore.run ~max_states ~symmetry
+               ~tables:(Lazy.force mcheck_tables) ~keep_states:true cfg)))
+
+let suite =
+  [
+    Test_seed.to_alcotest prop_generate_diff;
+    Test_seed.to_alcotest prop_monolithic_diff;
+    Test_seed.to_alcotest prop_select_diff;
+    Test_seed.to_alcotest prop_join_diff;
+    Test_seed.to_alcotest prop_deadlock_diff;
+    Test_seed.to_alcotest prop_mcheck_diff;
+  ]

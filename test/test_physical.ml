@@ -130,5 +130,5 @@ let suite =
     Alcotest.test_case "physical agrees with executor" `Quick test_physical_agrees_with_executor;
     Alcotest.test_case "index cache" `Quick test_store_caches_indexes;
     Alcotest.test_case "physical explain" `Quick test_explain_physical;
-    QCheck_alcotest.to_alcotest prop_index_agrees_with_scan;
+    Test_seed.to_alcotest prop_index_agrees_with_scan;
   ]

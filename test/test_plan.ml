@@ -257,6 +257,6 @@ let suite =
     Alcotest.test_case "csv null conventions" `Quick test_csv_null_conventions;
     Alcotest.test_case "csv errors" `Quick test_csv_errors;
     Alcotest.test_case "csv on the D table" `Quick test_csv_on_controller_table;
-    QCheck_alcotest.to_alcotest prop_optimize_sound;
-    QCheck_alcotest.to_alcotest prop_csv_roundtrip;
+    Test_seed.to_alcotest prop_optimize_sound;
+    Test_seed.to_alcotest prop_csv_roundtrip;
   ]

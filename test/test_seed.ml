@@ -1,0 +1,40 @@
+(* One PRNG seed for every property-test suite in the tree.
+
+   All qcheck suites register through {!to_alcotest} below, which derives
+   each test's random state from a single session seed plus the test
+   name.  The seed comes from [QCHECK_SEED] when set (so any reported
+   failure replays exactly), otherwise it is drawn fresh and printed
+   whenever a property fails, making every CI failure reproducible with
+   one environment variable. *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "QCHECK_SEED=%S is not an integer\n%!" s;
+          exit 2)
+  | None ->
+      Random.self_init ();
+      Random.bits ()
+
+(* Per-test state: independent streams per test name, all reproducible
+   from the one session seed. *)
+let rand_for name = Random.State.make [| seed; Hashtbl.hash name |]
+
+let name_of (QCheck2.Test.Test cell) = QCheck2.Test.get_name cell
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(rand_for (name_of test)) test
+  in
+  ( name,
+    speed,
+    fun arg ->
+      try run arg
+      with e ->
+        Printf.eprintf
+          "\n[test_seed] property %S failed; replay with QCHECK_SEED=%d\n%!"
+          name seed;
+        raise e )

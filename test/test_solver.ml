@@ -145,5 +145,5 @@ let suite =
     Alcotest.test_case "inconsistent constraints" `Quick test_inconsistent_constraints;
     Alcotest.test_case "unconstrained columns" `Quick test_unconstrained_column;
     Alcotest.test_case "spec validation" `Quick test_validation;
-    QCheck_alcotest.to_alcotest prop_strategies_agree;
+    Test_seed.to_alcotest prop_strategies_agree;
   ]

@@ -159,7 +159,7 @@ let suite =
     Alcotest.test_case "add_column and group_count" `Quick test_add_column_and_group;
     Alcotest.test_case "profile statistics" `Quick test_profile;
     Alcotest.test_case "D is sparse (paper claim)" `Quick test_profile_sparse_d;
-    QCheck_alcotest.to_alcotest prop_union_commutes;
-    QCheck_alcotest.to_alcotest prop_except_disjoint;
-    QCheck_alcotest.to_alcotest prop_select_partition;
+    Test_seed.to_alcotest prop_union_commutes;
+    Test_seed.to_alcotest prop_except_disjoint;
+    Test_seed.to_alcotest prop_select_partition;
   ]

@@ -86,6 +86,6 @@ let suite =
     Alcotest.test_case "schema basics" `Quick test_schema_basics;
     Alcotest.test_case "schema duplicates" `Quick test_schema_duplicate;
     Alcotest.test_case "schema ops" `Quick test_schema_ops;
-    QCheck_alcotest.to_alcotest prop_compare_total;
-    QCheck_alcotest.to_alcotest prop_hash_consistent;
+    Test_seed.to_alcotest prop_compare_total;
+    Test_seed.to_alcotest prop_hash_consistent;
   ]
