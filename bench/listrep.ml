@@ -1,0 +1,104 @@
+(* List-of-rows reference implementation of the relational core.
+
+   This is the representation lib/relalg used before the columnar
+   storage engine: a table is its schema plus a plain list of value
+   arrays, predicates are interpreted per row with [Expr.eval], and
+   set operations hash whole rows.  It exists only as the baseline
+   side of the representation benchmarks in [main] — keep it honest
+   (hash joins, hashed distinct) rather than a strawman, so measured
+   speedups reflect the storage change and not a worse algorithm. *)
+
+open Relalg
+
+type t = { schema : Schema.t; rows : Row.t list }
+
+let of_table tbl = { schema = Table.schema tbl; rows = Table.rows tbl }
+let cardinality t = List.length t.rows
+
+let select ?funcs pred t =
+  { t with rows = List.filter (fun r -> Expr.eval ?funcs t.schema r pred) t.rows }
+
+let project cols t =
+  let idxs = List.map (Schema.index t.schema) cols in
+  {
+    schema = Schema.project t.schema cols;
+    rows =
+      List.map
+        (fun r -> Array.of_list (List.map (fun i -> r.(i)) idxs))
+        t.rows;
+  }
+
+(* rows hashed as value lists (arrays hash by address under the
+   polymorphic hash in some runtimes; lists are structural everywhere) *)
+let row_key r = Array.to_list r
+
+let distinct t =
+  let seen = Hashtbl.create 64 in
+  let rows =
+    List.filter
+      (fun r ->
+        let k = row_key r in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      t.rows
+  in
+  { t with rows }
+
+let union a b = distinct { a with rows = a.rows @ b.rows }
+
+let except a b =
+  let inb = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace inb (row_key r) ()) b.rows;
+  distinct
+    { a with rows = List.filter (fun r -> not (Hashtbl.mem inb (row_key r))) a.rows }
+
+let group_count ~by t =
+  let idxs = List.map (Schema.index t.schema) by in
+  let counts = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let k = List.map (fun i -> r.(i)) idxs in
+      match Hashtbl.find_opt counts k with
+      | Some n -> Hashtbl.replace counts k (n + 1)
+      | None ->
+          Hashtbl.add counts k 1;
+          order := k :: !order)
+    t.rows;
+  List.rev_map (fun k -> (Array.of_list k, Hashtbl.find counts k)) !order
+
+(* hash join: bucket [b] by its key values, probe with [a]'s; keeps all
+   columns of [a] plus the non-key columns of [b], like Ops.equi_join *)
+let equi_join ~on a b =
+  let aidx = List.map (fun (ca, _) -> Schema.index a.schema ca) on in
+  let bidx = List.map (fun (_, cb) -> Schema.index b.schema cb) on in
+  let bkeys = List.map snd on in
+  let bkeep =
+    List.filter (fun c -> not (List.mem c bkeys)) (Schema.columns b.schema)
+  in
+  let bkeep_idx = List.map (Schema.index b.schema) bkeep in
+  let buckets = Hashtbl.create 64 in
+  List.iter
+    (fun rb ->
+      let k = List.map (fun i -> rb.(i)) bidx in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt buckets k) in
+      Hashtbl.replace buckets k (rb :: prev))
+    b.rows;
+  let rows =
+    List.concat_map
+      (fun ra ->
+        let k = List.map (fun i -> ra.(i)) aidx in
+        match Hashtbl.find_opt buckets k with
+        | None -> []
+        | Some matches ->
+            List.rev_map
+              (fun rb ->
+                Array.append ra
+                  (Array.of_list (List.map (fun i -> rb.(i)) bkeep_idx)))
+              matches)
+      a.rows
+  in
+  { schema = Schema.append a.schema bkeep; rows }

@@ -423,7 +423,9 @@ let stats_cmd =
        ~doc:
          "Profile a generated table: per-column distinct counts, NULL \
           sparsity and most-common values (the numbers behind the \
-          paper's \"quite sparse\" observation).")
+          paper's \"quite sparse\" observation), plus the columnar \
+          storage footprint — total bytes, dictionary hit rate, and \
+          per-column dictionary sizes.")
     Term.(const run $ setup_term $ table)
 
 (* ------------------------------ report ------------------------------- *)
@@ -475,8 +477,9 @@ let explain_cmd =
       & info [ "analyze" ]
           ~doc:
             "Actually execute the query against the controller-table \
-             database and print per-operator rows in/out and wall-clock \
-             timings (EXPLAIN ANALYZE).")
+             database and print per-operator rows in/out, \
+             materialized-vs-streamed output, storage bytes, dictionary \
+             hit rates and wall-clock timings (EXPLAIN ANALYZE).")
   in
   let index =
     Arg.(

@@ -68,7 +68,9 @@ let individual ~v (c : Protocol.controller) =
               c.Protocol.out_triples)
       c.Protocol.in_triples
   in
-  List.concat_map of_row (Table.rows tbl)
+  (* stream the table row by row instead of materializing the decoded
+     row list first *)
+  List.concat (List.rev (Table.fold (fun acc row -> of_row row :: acc) [] tbl))
 
 let relocate placement d =
   let c = Protocol.Topology.canon_string placement in

@@ -26,7 +26,10 @@ let violation_rows rows =
 (* ------------------------------------------------------------------ *)
 
 (* A controller table must be a function of its inputs: no two rows may
-   agree on every input column yet disagree on an output. *)
+   agree on every input column yet disagree on an output.  Runs entirely
+   in code space: within one table, cells are equal iff their dictionary
+   codes are, so both the input-key grouping and the full-row comparison
+   are integer work; a key is only decoded to report a violation. *)
 let determinism_check db =
   ignore db;
   let bad = ref [] in
@@ -36,29 +39,46 @@ let determinism_check db =
       let name = Protocol.Ctrl_spec.name c.Protocol.spec in
       let ins = Protocol.Ctrl_spec.input_columns c.Protocol.spec in
       let projected = Ops.project ins tbl in
-      let seen = Row.Tbl.create 64 in
-      List.iter2
-        (fun key full ->
-          match Row.Tbl.find_opt seen key with
-          | None -> Row.Tbl.add seen key full
-          | Some other ->
-              if not (Row.equal other full) then
-                bad :=
-                  Printf.sprintf "%s: duplicate inputs %s" name
-                    (Format.asprintf "%a" Row.pp key)
-                  :: !bad)
-        (Table.rows projected) (Table.rows tbl))
+      let schema = Table.schema tbl in
+      let n = Table.cardinality tbl in
+      let all = Array.init (Table.arity tbl) (Table.codes tbl) in
+      let key_cols =
+        Array.of_list
+          (List.map (fun col -> all.(Schema.index schema col)) ins)
+      in
+      let seen = Hashtbl.create 64 in
+      for i = 0 to n - 1 do
+        let key = Array.map (fun cs -> cs.(i)) key_cols in
+        match Hashtbl.find_opt seen key with
+        | None -> Hashtbl.add seen key i
+        | Some i0 ->
+            if not (Array.for_all (fun cs -> cs.(i0) = cs.(i)) all) then
+              bad :=
+                Printf.sprintf "%s: duplicate inputs %s" name
+                  (Format.asprintf "%a" Row.pp (Table.get projected i))
+                :: !bad
+      done)
     Protocol.controllers;
   violation_rows (List.rev !bad)
 
+(* Distinct strings of a column, straight off the dictionary: mark the
+   codes that occur, decode each marked code once. *)
 let distinct_values tbl col =
-  let schema = Table.schema tbl in
-  let idx = Schema.index schema col in
-  List.sort_uniq String.compare
-    (List.filter_map
-       (fun row ->
-         match row.(idx) with Value.Str s -> Some s | _ -> None)
-       (Table.rows tbl))
+  let j = Schema.index (Table.schema tbl) col in
+  let dict = Table.dict tbl j and codes = Table.codes tbl j in
+  let present = Array.make (max 1 (Dict.size dict)) false in
+  for i = 0 to Table.cardinality tbl - 1 do
+    present.(codes.(i)) <- true
+  done;
+  let acc = ref [] in
+  Array.iteri
+    (fun c p ->
+      if p then
+        match Dict.value dict c with
+        | Value.Str s -> acc := s :: !acc
+        | _ -> ())
+    present;
+  List.sort_uniq String.compare !acc
 
 (* Every snoop response a cache can emit (in reply to a snoop the
    directory actually sends) must be handled by some D response row. *)
@@ -67,18 +87,28 @@ let snoop_coverage_check db =
   let sent = distinct_values d "remmsg" in
   let handled = distinct_values d "inmsg" in
   let schema_c = Table.schema c in
+  (* membership of each dictionary entry is decided once per code; the
+     row scan is then two array reads and two boolean lookups *)
+  let ji = Schema.index schema_c "inmsg"
+  and jr = Schema.index schema_c "respmsg" in
+  let di = Table.dict c ji and dr = Table.dict c jr in
+  let in_set d values =
+    Array.init (Dict.size d) (fun code ->
+        match Dict.value d code with
+        | Value.Str s -> List.mem s values
+        | _ -> false)
+  in
+  let snoop_sent = in_set di sent and resp_handled = in_set dr handled in
+  let ci = Table.codes c ji and cr = Table.codes c jr in
   let bad = ref [] in
-  Table.iter
-    (fun row ->
-      match
-        ( row.(Schema.index schema_c "inmsg"),
-          row.(Schema.index schema_c "respmsg") )
-      with
-      | Value.Str snoop, Value.Str resp
-        when List.mem snoop sent && not (List.mem resp handled) ->
-          bad := Printf.sprintf "C answers %s with unhandled %s" snoop resp :: !bad
-      | _ -> ())
-    c;
+  for i = 0 to Table.cardinality c - 1 do
+    if snoop_sent.(ci.(i)) && not resp_handled.(cr.(i)) then
+      match (Dict.value di ci.(i), Dict.value dr cr.(i)) with
+      | Value.Str snoop, Value.Str resp ->
+          bad :=
+            Printf.sprintf "C answers %s with unhandled %s" snoop resp :: !bad
+      | _ -> ()
+  done;
   violation_rows (List.sort_uniq String.compare !bad)
 
 (* Every request the processor interface can issue must have at least one

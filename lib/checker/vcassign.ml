@@ -79,15 +79,15 @@ let to_table t =
 
 let of_table tbl =
   let rows =
-    List.filter_map
-      (fun row ->
+    Table.fold
+      (fun acc row ->
         match Array.to_list row with
         | [ Value.Str msg; Value.Str src; Value.Str dst; Value.Str vc ] ->
-            Some { msg; src; dst; vc }
-        | _ -> None)
-      (Table.rows tbl)
+            { msg; src; dst; vc } :: acc
+        | _ -> acc)
+      [] tbl
   in
-  { name = Table.name tbl; rows }
+  { name = Table.name tbl; rows = List.rev rows }
 
 let reassign t ~msg ~src ~dst ~vc =
   let t = remove t ~msg ~src ~dst in

@@ -15,16 +15,38 @@ let cells_of cols schema row =
       | Value.Null -> None)
     cols
 
+(* Rule extraction runs off the dictionary codes: each referenced
+   column's dictionary entries are rendered to strings once, and every
+   row's guard/action cells are then array lookups — no row is decoded.
+   This is the path the model checker and the table-driven simulator
+   load their controllers through, so it runs once per (big) table. *)
 let rules_of_table ~inputs ~outputs t =
   let schema = Table.schema t in
-  let rules =
+  let rendered cols =
     List.map
-      (fun row ->
-        {
-          guard = cells_of inputs schema row;
-          action = cells_of outputs schema row;
-        })
-      (Table.rows t)
+      (fun c ->
+        let j = Schema.index schema c in
+        let d = Table.dict t j in
+        let strs =
+          Array.init (Dict.size d) (fun code ->
+              match Dict.value d code with
+              | Value.Str s -> Some s
+              | Value.Int i -> Some (string_of_int i)
+              | Value.Bool b -> Some (string_of_bool b)
+              | Value.Null -> None)
+        in
+        (c, Table.codes t j, strs))
+      cols
+  in
+  let rin = rendered inputs and rout = rendered outputs in
+  let cells_at cols i =
+    List.filter_map
+      (fun (c, codes, strs) -> Option.map (fun s -> (c, s)) strs.(codes.(i)))
+      cols
+  in
+  let rules =
+    List.init (Table.cardinality t) (fun i ->
+        { guard = cells_at rin i; action = cells_at rout i })
   in
   (* Most-specific-first so dont-care rows cannot shadow constrained
      ones; stable within equal specificity to keep table order. *)

@@ -102,7 +102,8 @@ let generate () =
   in
   Table.distinct
     (Table.of_rows ~name:"ED" schema
-       (List.concat_map expand (Table.rows d)))
+       (List.concat
+          (List.rev (Table.fold (fun acc row -> expand row :: acc) [] d))))
 
 let cache = ref None
 

@@ -225,3 +225,11 @@ let to_number = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f
   | _ -> None
+
+let human_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if f < 1024. *. 1024. then Printf.sprintf "%.1fKB" (f /. 1024.)
+  else if f < 1024. *. 1024. *. 1024. then
+    Printf.sprintf "%.1fMB" (f /. (1024. *. 1024.))
+  else Printf.sprintf "%.1fGB" (f /. (1024. *. 1024. *. 1024.))

@@ -30,3 +30,8 @@ val to_str : t -> string option
 
 val to_number : t -> float option
 (** Ints are widened to float. *)
+
+val human_bytes : int -> string
+(** Render a byte count for humans: ["512B"], ["4.2KB"], ["1.3MB"], …
+    Used by [stats]/[explain --analyze] when reporting storage
+    footprints. *)

@@ -520,5 +520,9 @@ let figure3 () =
       [ "inmsg"; "dirst"; "dirpv"; "locmsg"; "remmsg"; "memmsg"; "nxtdirst";
         "nxtdirpv" ]
   in
-  let rows = List.filter is_readex_row (Table.rows d) in
-  Table.of_rows ~name:"figure3" out_schema (List.map fold rows)
+  let rows =
+    Table.fold
+      (fun acc row -> if is_readex_row row then fold row :: acc else acc)
+      [] d
+  in
+  Table.of_rows ~name:"figure3" out_schema (List.rev rows)

@@ -10,6 +10,11 @@ type node = {
   op : string;  (** one-line operator description *)
   rows_in : int;  (** rows consumed (sum of the children's outputs) *)
   rows_out : int;
+  bytes_out : int;  (** columnar storage footprint of the operator's output *)
+  materialized : bool;
+      (** whether the operator allocated fresh code buffers ([true]) or
+          returned a zero-copy view / the stored table itself ([false]) *)
+  dict_hit : float;  (** dictionary hit rate of the output table *)
   elapsed_ns : int64;  (** inclusive wall time *)
   children : node list;
 }
@@ -19,6 +24,9 @@ let rows_scanned () = Obs.Metrics.counter (Lazy.force reg) "rows_scanned"
 let rows_returned () = Obs.Metrics.counter (Lazy.force reg) "rows_returned"
 let operators_run () = Obs.Metrics.counter (Lazy.force reg) "operators_run"
 let queries_analyzed () = Obs.Metrics.counter (Lazy.force reg) "queries_analyzed"
+let rows_materialized () = Obs.Metrics.counter (Lazy.force reg) "rows_materialized"
+let rows_streamed () = Obs.Metrics.counter (Lazy.force reg) "rows_streamed"
+let bytes_materialized () = Obs.Metrics.counter (Lazy.force reg) "bytes_materialized"
 
 let describe : Physical.t -> string = function
   | Physical.Access (Physical.Seq_scan name) -> "seq scan " ^ name
@@ -47,15 +55,30 @@ let rec execute store (p : Physical.t) : Table.t * node =
   let op = describe p in
   Obs.Trace.with_span ~cat:"relalg" op @@ fun () ->
   let t0 = Obs.Clock.now_ns () in
-  let finish ?(rows_in = -1) children table =
+  let finish ?(rows_in = -1) ?(materialized = true) children table =
     let rows_in =
       if rows_in >= 0 then rows_in
       else List.fold_left (fun acc c -> acc + c.rows_out) 0 children
     in
     let rows_out = Table.cardinality table in
+    let bytes_out = Table.storage_bytes table in
     Obs.Metrics.incr (operators_run ());
-    table,
-    { op; rows_in; rows_out; elapsed_ns = Obs.Clock.since t0; children }
+    if materialized then begin
+      Obs.Metrics.add (rows_materialized ()) rows_out;
+      Obs.Metrics.add (bytes_materialized ()) bytes_out
+    end
+    else Obs.Metrics.add (rows_streamed ()) rows_out;
+    ( table,
+      {
+        op;
+        rows_in;
+        rows_out;
+        bytes_out;
+        materialized;
+        dict_hit = Table.dict_hit_rate table;
+        elapsed_ns = Obs.Clock.since t0;
+        children;
+      } )
   in
   let funcs = Database.functions (store_db store) in
   match p with
@@ -68,13 +91,19 @@ let rec execute store (p : Physical.t) : Table.t * node =
       in
       let table = Physical.execute_access store a in
       Obs.Metrics.add (rows_scanned ()) (Table.cardinality table);
-      finish ~rows_in:source_rows [] table
+      (* a seq scan hands back the stored table itself; an index lookup
+         gathers matching rows into fresh buffers *)
+      let materialized =
+        match a with Physical.Seq_scan _ -> false | _ -> true
+      in
+      finish ~rows_in:source_rows ~materialized [] table
   | Physical.Select (pred, inner) ->
       let t, c = execute store inner in
       finish [ c ] (Ops.select ~funcs pred t)
   | Physical.Project (cols, inner) ->
       let t, c = execute store inner in
-      finish [ c ] (Ops.project cols t)
+      (* zero-copy: shares the child's buffers and dictionaries *)
+      finish ~materialized:false [ c ] (Ops.project cols t)
   | Physical.Distinct inner ->
       let t, c = execute store inner in
       finish [ c ] (Table.distinct t)
@@ -105,7 +134,8 @@ let rec execute store (p : Physical.t) : Table.t * node =
               (fun (key, n) -> Array.append key [| Value.Int n |])
               (Ops.group_count ~by:cols t)))
   | Physical.Empty cols ->
-      finish [] (Table.create ~name:"<empty>" (Schema.of_list cols))
+      finish ~materialized:false []
+        (Table.create ~name:"<empty>" (Schema.of_list cols))
 
 type result = {
   table : Table.t;
@@ -139,10 +169,14 @@ let render_node root =
         (List.fold_left (fun acc c -> Int64.add acc c.elapsed_ns) 0L n.children)
     in
     Printf.ksprintf (Buffer.add_string buf)
-      "%s%-*s rows in=%-6d out=%-6d time=%8.3f ms (self %.3f ms)\n"
+      "%s%-*s rows in=%-6d out=%-6d %s %6s dict-hit=%3.0f%% time=%8.3f ms \
+       (self %.3f ms)\n"
       (String.make indent ' ')
       (max 1 (46 - indent))
       n.op n.rows_in n.rows_out
+      (if n.materialized then "mat   " else "stream")
+      (Obs.Json.human_bytes n.bytes_out)
+      (100. *. n.dict_hit)
       (Obs.Clock.to_ms n.elapsed_ns)
       (Obs.Clock.to_ms self_ns);
     List.iter (go (indent + 2)) n.children

@@ -11,6 +11,15 @@ type node = {
   op : string;  (** one-line operator description *)
   rows_in : int;
   rows_out : int;
+  bytes_out : int;
+      (** columnar storage footprint of the operator's output
+          ({!Table.storage_bytes}) *)
+  materialized : bool;
+      (** [true] when the operator allocated fresh code buffers; [false]
+          for zero-copy outputs (seq scan of a stored table, project,
+          empty).  Totals accumulate in the ["relalg"] registry as
+          [rows_materialized] / [rows_streamed] / [bytes_materialized]. *)
+  dict_hit : float;  (** dictionary hit rate of the output table *)
   elapsed_ns : int64;  (** inclusive wall time *)
   children : node list;
 }

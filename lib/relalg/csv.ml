@@ -29,9 +29,19 @@ let to_string t =
     Buffer.add_char buf '\n'
   in
   emit_line (Schema.columns (Table.schema t));
-  Table.iter
-    (fun row -> emit_line (List.map render_cell (Row.to_list row)))
-    t;
+  (* Render each dictionary entry once; emitting a cell is then an array
+     lookup on its code instead of a fresh Value rendering per row. *)
+  let arity = Table.arity t in
+  let rendered =
+    Array.init arity (fun j ->
+        let d = Table.dict t j in
+        Array.init (Dict.size d) (fun c -> render_cell (Dict.value d c)))
+  in
+  let codes = Array.init arity (Table.codes t) in
+  for i = 0 to Table.cardinality t - 1 do
+    emit_line
+      (List.init arity (fun j -> rendered.(j).(codes.(j).(i))))
+  done;
   Buffer.contents buf
 
 (* RFC-4180-style splitting: returns the records of the document, each a

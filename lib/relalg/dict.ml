@@ -1,0 +1,69 @@
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  codes : int Vtbl.t;  (* value -> code *)
+  mutable values : Value.t array;  (* code -> value; length is capacity *)
+  mutable size : int;
+  mutable hits : int;
+}
+
+let create () =
+  { codes = Vtbl.create 16; values = Array.make 8 Value.Null; size = 0; hits = 0 }
+
+let size d = d.size
+
+let intern d v =
+  match Vtbl.find_opt d.codes v with
+  | Some c ->
+      d.hits <- d.hits + 1;
+      c
+  | None ->
+      let c = d.size in
+      if c = Array.length d.values then begin
+        let values = Array.make (2 * c) Value.Null in
+        Array.blit d.values 0 values 0 c;
+        d.values <- values
+      end;
+      d.values.(c) <- v;
+      d.size <- c + 1;
+      Vtbl.add d.codes v c;
+      c
+
+let code_opt d v = Vtbl.find_opt d.codes v
+
+let value d c =
+  if c < 0 || c >= d.size then
+    invalid_arg (Printf.sprintf "Dict.value: code %d of %d" c d.size);
+  d.values.(c)
+
+let hits d = d.hits
+let misses d = d.size
+
+let hit_rate d =
+  let total = d.hits + d.size in
+  if total = 0 then 0. else float_of_int d.hits /. float_of_int total
+
+let word = Sys.word_size / 8
+
+let value_bytes = function
+  | Value.Null | Value.Int _ | Value.Bool _ -> word
+  | Value.Str s -> (3 * word) + String.length s
+
+let translate ~from ~into =
+  Array.init from.size (fun c ->
+      match Vtbl.find_opt into.codes from.values.(c) with
+      | Some c' -> c'
+      | None -> -1)
+
+let bytes d =
+  let entries = ref 0 in
+  for c = 0 to d.size - 1 do
+    entries := !entries + value_bytes d.values.(c)
+  done;
+  (* decode array + one hashtable bucket (~4 words) per entry *)
+  (Array.length d.values * word) + (d.size * 4 * word) + !entries

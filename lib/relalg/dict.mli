@@ -1,0 +1,52 @@
+(** Per-column value dictionaries for the columnar storage engine.
+
+    Every column of a {!Table} owns (or shares) a dictionary that interns
+    the values appearing in it.  Cells are stored as integer codes into
+    the dictionary, so the hot-path comparisons of the relational
+    operators — selection predicates, distinct, set membership, join keys
+    — are integer compares instead of boxed {!Value.t} traversals.
+
+    Dictionaries are append-only: a code, once assigned, always decodes
+    to the same value, which is what makes it safe for derived tables
+    (selections, projections, joins) to share their parents'
+    dictionaries.  Interning happens only in the spawning domain (table
+    construction); pool workers only read, so no locking is needed. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+(** Number of distinct values interned so far.  Codes are [0..size-1]. *)
+
+val intern : t -> Value.t -> int
+(** The code of [v], assigning the next free code on first sight.
+    Equal values always intern to the same code. *)
+
+val code_opt : t -> Value.t -> int option
+(** Read-only lookup: the code of [v] if it has been interned.  Safe to
+    call from pool workers. *)
+
+val value : t -> int -> Value.t
+(** Decode.  @raise Invalid_argument on an out-of-range code. *)
+
+val hits : t -> int
+(** How many {!intern} calls found an existing entry. *)
+
+val misses : t -> int
+(** How many {!intern} calls allocated a new code (= {!size}). *)
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)], or [0.] before the first intern.  High hit
+    rates are the whole point: protocol tables draw their cells from
+    small per-column domains. *)
+
+val bytes : t -> int
+(** Approximate heap footprint of the dictionary (entries plus decode
+    array), in bytes. *)
+
+val translate : from:t -> into:t -> int array
+(** [translate ~from ~into] maps every code of [from] to the code of the
+    same value in [into], or [-1] when the value has not been interned
+    there.  Computed eagerly (read-only on both dictionaries), so the
+    result can be consulted from pool workers. *)

@@ -124,6 +124,108 @@ let compile ?(funcs = no_funcs) schema e =
   in
   go e
 
+(* Dictionary-compiled evaluator.  Column offsets, constant codes, IN
+   masks and function memo tables are all resolved once against the
+   table's dictionaries; the returned closure takes a row *index* and does
+   integer compares on the code arrays.  Codes interned after compile time
+   (a dictionary that grew under a shared buffer) fall back to decoding,
+   so the closure always agrees with [eval] on the decoded row. *)
+let compile_columns ?(funcs = no_funcs) schema ~dict ~codes e =
+  let column c =
+    let j = Schema.index schema c in
+    (dict j, codes j)
+  in
+  let equality a b =
+    match (a, b) with
+    | Const va, Const vb ->
+        let r = Value.equal va vb in
+        fun _ -> r
+    | Col c, Const v | Const v, Col c -> (
+        let d, cs = column c in
+        match Dict.code_opt d v with
+        | Some code -> fun i -> cs.(i) = code
+        | None ->
+            let n = Dict.size d in
+            fun i ->
+              let ci = cs.(i) in
+              ci >= n && Value.equal (Dict.value d ci) v)
+    | Col ca, Col cb ->
+        let da, csa = column ca and db, csb = column cb in
+        if da == db then fun i -> csa.(i) = csb.(i)
+        else
+          let map = Dict.translate ~from:da ~into:db in
+          let na = Array.length map and nb = Dict.size db in
+          fun i ->
+            let a = csa.(i) and b = csb.(i) in
+            if a < na && b < nb then map.(a) = b
+            else Value.equal (Dict.value da a) (Dict.value db b)
+  in
+  let rec go = function
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Eq (a, b) -> equality a b
+    | Neq (a, b) ->
+        let f = equality a b in
+        fun i -> not (f i)
+    | In (Const v, vs) ->
+        let r = List.exists (Value.equal v) vs in
+        fun _ -> r
+    | In (Col c, vs) ->
+        let d, cs = column c in
+        let n = Dict.size d in
+        let mask = Array.make n false in
+        List.iter
+          (fun v ->
+            match Dict.code_opt d v with
+            | Some code when code < n -> mask.(code) <- true
+            | _ -> ())
+          vs;
+        fun i ->
+          let ci = cs.(i) in
+          if ci < n then mask.(ci)
+          else
+            let v = Dict.value d ci in
+            List.exists (Value.equal v) vs
+    | Fn (f, a) -> (
+        match funcs f with
+        | None -> raise (Unknown_function f)
+        | Some p -> (
+            match a with
+            | Const v -> fun _ -> p v
+            | Col c ->
+                let d, cs = column c in
+                let n = Dict.size d in
+                (* -1 unknown / 0 false / 1 true.  Workers may race on a
+                   cell, but [p] is deterministic so they write the same
+                   value — the memo only ever converges. *)
+                let memo = Array.make n (-1) in
+                fun i ->
+                  let ci = cs.(i) in
+                  if ci < n then begin
+                    let m = memo.(ci) in
+                    if m >= 0 then m = 1
+                    else begin
+                      let r = p (Dict.value d ci) in
+                      memo.(ci) <- (if r then 1 else 0);
+                      r
+                    end
+                  end
+                  else p (Dict.value d ci)))
+    | And (a, b) ->
+        let fa = go a and fb = go b in
+        fun i -> fa i && fb i
+    | Or (a, b) ->
+        let fa = go a and fb = go b in
+        fun i -> fa i || fb i
+    | Not a ->
+        let fa = go a in
+        fun i -> not (fa i)
+    | Ternary (c, a, b) ->
+        let fc = go c and fa = go a and fb = go b in
+        fun i -> if fc i then fa i else fb i
+  in
+  go e
+
 let pp_operand fmt = function
   | Col c -> Format.pp_print_string fmt c
   | Const v -> Format.pp_print_string fmt (Value.to_sql v)

@@ -68,6 +68,25 @@ val compile : ?funcs:funcs -> Schema.t -> t -> Value.t array -> bool
     the returned closure is cheap to apply to many rows.  Raises the same
     exceptions as {!eval}, but at compile time. *)
 
+val compile_columns :
+  ?funcs:funcs ->
+  Schema.t ->
+  dict:(int -> Dict.t) ->
+  codes:(int -> int array) ->
+  t ->
+  int ->
+  bool
+(** Dictionary-compiled evaluator over columnar storage.  [dict j] and
+    [codes j] give column [j]'s dictionary and code buffer (as in
+    {!Table.dict} / {!Table.codes}); the result takes a row index.
+    Column offsets, constant codes, [IN] masks and function memo tables
+    are resolved once at compile time, so the hot path is integer
+    compares on code arrays.  A constant that was never interned in the
+    relevant column compiles to (almost) constant-false.  Agrees with
+    {!eval} on the decoded row; raises the same exceptions, at compile
+    time.  The returned closure is safe to call from {!Par.Pool}
+    workers. *)
+
 val pp : Format.formatter -> t -> unit
 (** Paper-style rendering using [?:] for ternaries. *)
 

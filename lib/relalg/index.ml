@@ -1,39 +1,44 @@
-module Vtbl = Hashtbl.Make (struct
-  type t = Value.t
-
-  let equal = Value.equal
-  let hash = Value.hash
-end)
+(* Columnar hash index: buckets map dictionary *codes* (not values) of
+   the indexed column to row numbers of the source snapshot.  A probe
+   value is first looked up in the column dictionary — a value that was
+   never interned cannot appear in the table, so the probe is a miss
+   without hashing a single row. *)
 
 type t = {
-  table_name : string;
+  source : Table.t;  (* the snapshot indexed *)
   column : string;
-  buckets : Row.t list Vtbl.t;  (* rows in reverse table order *)
-  size : int;
+  col : int;  (* offset of [column] in the source schema *)
+  buckets : (int, int list) Hashtbl.t;  (* code -> row indices, reversed *)
 }
 
 let build tbl column =
-  let idx = Schema.index (Table.schema tbl) column in
-  let buckets = Vtbl.create 64 in
-  Table.iter
-    (fun row ->
-      let key = row.(idx) in
-      let existing = Option.value (Vtbl.find_opt buckets key) ~default:[] in
-      Vtbl.replace buckets key (row :: existing))
-    tbl;
-  { table_name = Table.name tbl; column; buckets; size = Table.cardinality tbl }
+  let col = Schema.index (Table.schema tbl) column in
+  let codes = Table.codes tbl col in
+  let buckets = Hashtbl.create 64 in
+  for i = 0 to Table.cardinality tbl - 1 do
+    let c = codes.(i) in
+    let existing = Option.value (Hashtbl.find_opt buckets c) ~default:[] in
+    Hashtbl.replace buckets c (i :: existing)
+  done;
+  { source = tbl; column; col; buckets }
 
-let table_name t = t.table_name
+let source t = t.source
+let table_name t = Table.name t.source
 let column t = t.column
 
-let lookup t v =
-  List.rev (Option.value (Vtbl.find_opt t.buckets v) ~default:[])
+let lookup_idx t v =
+  match Dict.code_opt (Table.dict t.source t.col) v with
+  | None -> []
+  | Some c -> List.rev (Option.value (Hashtbl.find_opt t.buckets c) ~default:[])
 
-let distinct_keys t = Vtbl.length t.buckets
+let lookup t v = List.map (Table.get t.source) (lookup_idx t v)
+let lookup_gather t v = Table.gather t.source (lookup_idx t v)
+let distinct_keys t = Hashtbl.length t.buckets
 
 let consistent t tbl =
-  Table.cardinality tbl = t.size
-  && Vtbl.fold (fun _ rows acc -> acc + List.length rows) t.buckets 0 = t.size
+  let n = Table.cardinality t.source in
+  Table.cardinality tbl = n
+  && Hashtbl.fold (fun _ idxs acc -> acc + List.length idxs) t.buckets 0 = n
   &&
   let idx = Schema.index (Table.schema tbl) t.column in
   Table.fold

@@ -4,18 +4,35 @@
     ({!Physical}): an equality predicate on an indexed column becomes a
     hash lookup instead of a scan.  Indexes are explicit immutable values
     built from a table snapshot — rebuilding after table updates is the
-    caller's concern (the methodology's tables are generate-once). *)
+    caller's concern ({!Physical}'s store does it by watching
+    {!Table.id}).
+
+    Since the columnar refactor the buckets hold row numbers keyed by
+    dictionary code: probing first resolves the value through the
+    column's dictionary, so a value that never occurs in the table
+    misses in O(1), and a hit gathers rows by index without decoding. *)
 
 type t
 
 val build : Table.t -> string -> t
 (** Index the given column. @raise Schema.Unknown_column. *)
 
+val source : t -> Table.t
+(** The table snapshot the index was built from. *)
+
 val table_name : t -> string
 val column : t -> string
 
 val lookup : t -> Value.t -> Row.t list
 (** All rows whose indexed cell equals the value, in table order. *)
+
+val lookup_idx : t -> Value.t -> int list
+(** Row numbers (into {!source}) whose indexed cell equals the value, in
+    table order.  No row is decoded. *)
+
+val lookup_gather : t -> Value.t -> Table.t
+(** The matching rows as a table sharing the source's dictionaries —
+    what {!Physical.execute_access} materializes for an index lookup. *)
 
 val distinct_keys : t -> int
 

@@ -7,25 +7,31 @@ let select_min_chunk = 1024
 let probe_min_chunk = 512
 
 let select ?funcs pred t =
-  let check = Expr.compile ?funcs (Table.schema t) pred in
-  let rows = Table.rows t in
-  if Par.Pool.degree ~min_chunk:select_min_chunk (List.length rows) <= 1 then
-    Table.filter check t
+  let check =
+    Expr.compile_columns ?funcs (Table.schema t) ~dict:(Table.dict t)
+      ~codes:(Table.codes t) pred
+  in
+  let n = Table.cardinality t in
+  if Par.Pool.degree ~min_chunk:select_min_chunk n <= 1 then
+    Table.filter_idx check t
   else
-    Table.of_rows ~name:(Table.name t) (Table.schema t)
-      (Par.Pool.filter_list ~min_chunk:select_min_chunk check rows)
+    (* The compiled predicate only reads code arrays and compile-time memo
+       tables, so chunks can evaluate it concurrently; the chunk-order
+       merge keeps the kept indices ascending, exactly like the
+       sequential filter. *)
+    Table.gather t
+      (Par.Pool.filter_list ~min_chunk:select_min_chunk check
+         (List.init n Fun.id))
 
 let project cols t =
   let schema = Table.schema t in
-  let idxs = Array.of_list (List.map (Schema.index schema) cols) in
-  let sub row = Array.map (fun i -> row.(i)) idxs in
-  Table.of_rows ~name:(Table.name t) (Schema.project schema cols)
-    (List.map sub (Table.rows t))
+  Table.select_columns (Schema.project schema cols) t
+    (List.map (Schema.index schema) cols)
 
 let rename mapping t =
-  Table.of_rows ~name:(Table.name t)
-    (Schema.rename (Table.schema t) mapping)
-    (Table.rows t)
+  let schema = Table.schema t in
+  Table.select_columns (Schema.rename schema mapping) t
+    (List.init (Schema.arity schema) Fun.id)
 
 let check_disjoint sa sb =
   List.iter
@@ -36,12 +42,32 @@ let cross ta tb =
   let sa = Table.schema ta and sb = Table.schema tb in
   check_disjoint sa sb;
   let schema = Schema.append sa (Schema.columns sb) in
-  let rows =
-    List.concat_map
-      (fun ra -> List.map (fun rb -> Array.append ra rb) (Table.rows tb))
-      (Table.rows ta)
+  let na = Table.cardinality ta and nb = Table.cardinality tb in
+  let n = na * nb in
+  (* Row (ia, ib) lands at index ia*nb + ib: a-columns repeat each code nb
+     times, b-columns tile their whole code sequence na times. *)
+  let col_of_a j =
+    let src = Table.codes ta j in
+    let out = Array.make n 0 in
+    for ia = 0 to na - 1 do
+      Array.fill out (ia * nb) nb src.(ia)
+    done;
+    (Table.dict ta j, out)
   in
-  Table.of_rows ~name:(Table.name ta ^ "*" ^ Table.name tb) schema rows
+  let col_of_b j =
+    let src = Table.codes tb j in
+    let out = Array.make n 0 in
+    for ia = 0 to na - 1 do
+      Array.blit src 0 out (ia * nb) nb
+    done;
+    (Table.dict tb j, out)
+  in
+  Table.of_columns
+    ~name:(Table.name ta ^ "*" ^ Table.name tb)
+    schema ~nrows:n
+    (Array.append
+       (Array.init (Schema.arity sa) col_of_a)
+       (Array.init (Schema.arity sb) col_of_b))
 
 let cross_many ~name = function
   | [] -> invalid_arg "Ops.cross_many: empty list"
@@ -61,7 +87,7 @@ let require_compatible op ta tb =
 
 let union ta tb =
   require_compatible "union" ta tb;
-  Table.distinct (Table.add_all ta (Table.rows tb))
+  Table.distinct (Table.concat ta tb)
 
 let union_many ~name schema = function
   | [] -> Table.create ~name schema
@@ -69,15 +95,13 @@ let union_many ~name schema = function
 
 let except ta tb =
   require_compatible "except" ta tb;
-  let drop = Row.Tbl.create 64 in
-  List.iter (fun r -> Row.Tbl.replace drop r ()) (Table.rows tb);
-  Table.distinct (Table.filter (fun r -> not (Row.Tbl.mem drop r)) ta)
+  let in_b = Table.row_membership ~of_:tb ta in
+  Table.distinct (Table.filter_idx (fun i -> not (in_b i)) ta)
 
 let intersect ta tb =
   require_compatible "intersect" ta tb;
-  let keep = Row.Tbl.create 64 in
-  List.iter (fun r -> Row.Tbl.replace keep r ()) (Table.rows tb);
-  Table.distinct (Table.filter (Row.Tbl.mem keep) ta)
+  let in_b = Table.row_membership ~of_:tb ta in
+  Table.distinct (Table.filter_idx in_b ta)
 
 let equi_join ~on ta tb =
   let sa = Table.schema ta and sb = Table.schema tb in
@@ -88,50 +112,147 @@ let equi_join ~on ta tb =
     List.filter (fun c -> not (List.mem c b_key_cols)) (Schema.columns sb)
   in
   List.iter (fun c -> if Schema.mem sa c then raise (Schema_clash c)) kept_b;
-  let kept_b_idx = Array.of_list (List.map (Schema.index sb) kept_b) in
-  let key_of row idxs = Row.of_list (List.map (fun i -> row.(i)) idxs) in
-  (* Hash join: index tb rows by key, then probe with ta rows. *)
-  let index = Row.Tbl.create (Table.cardinality tb) in
-  List.iter
-    (fun rb ->
-      let k = key_of rb b_keys in
-      let existing = Option.value (Row.Tbl.find_opt index k) ~default:[] in
-      Row.Tbl.replace index k (rb :: existing))
-    (Table.rows tb);
-  (* The build side is immutable once populated, so probe chunks may read
-     it from several domains concurrently; probe results concatenate in
-     row order, matching the sequential concat_map exactly. *)
-  let rows =
-    Par.Pool.concat_map_list ~min_chunk:probe_min_chunk
-      (fun ra ->
-        match Row.Tbl.find_opt index (key_of ra a_keys) with
+  let na = Table.cardinality ta and nb = Table.cardinality tb in
+  (* Hash join in code space: index tb row numbers by their key codes,
+     translate ta's key codes into tb's dictionaries once, then probe. *)
+  let b_key = Array.of_list (List.map (Table.codes tb) b_keys) in
+  let buckets = Hashtbl.create (max 16 nb) in
+  for ib = 0 to nb - 1 do
+    let k = Array.map (fun cs -> cs.(ib)) b_key in
+    let existing = Option.value (Hashtbl.find_opt buckets k) ~default:[] in
+    Hashtbl.replace buckets k (ib :: existing)
+  done;
+  (* buckets accumulate newest-first; reversing each into an array once
+     restores tb row order, so probes need no per-row reversal *)
+  let index = Hashtbl.create (max 16 nb) in
+  Hashtbl.iter
+    (fun k l -> Hashtbl.replace index k (Array.of_list (List.rev l)))
+    buckets;
+  let a_key = Array.of_list (List.map (Table.codes ta) a_keys) in
+  let trans =
+    Array.of_list
+      (List.map2
+         (fun ja jb ->
+           let da = Table.dict ta ja and db = Table.dict tb jb in
+           if da == db then None else Some (Dict.translate ~from:da ~into:db))
+         a_keys b_keys)
+  in
+  let nkeys = Array.length a_key in
+  (* write row ia's translated key codes into scratch array [k]; false
+     when a key value has no code in tb's dictionary (no match) *)
+  let key_into k ia =
+    let ok = ref true in
+    for j = 0 to nkeys - 1 do
+      let c = a_key.(j).(ia) in
+      let c' = match trans.(j) with None -> c | Some map -> map.(c) in
+      if c' < 0 then ok := false else k.(j) <- c'
+    done;
+    !ok
+  in
+  let seq_pairs () =
+    (* probe with one reused key array and push straight into growable
+       index buffers: no per-row allocation on the sequential path *)
+    let cap = ref 16 in
+    let ias = ref (Array.make !cap 0) and ibs = ref (Array.make !cap 0) in
+    let m = ref 0 in
+    let k = Array.make nkeys 0 in
+    for ia = 0 to na - 1 do
+      if key_into k ia then
+        match Hashtbl.find_opt index k with
+        | None -> ()
+        | Some matches ->
+            Array.iter
+              (fun ib ->
+                if !m = !cap then begin
+                  cap := !cap * 2;
+                  let grow a =
+                    let a' = Array.make !cap 0 in
+                    Array.blit a 0 a' 0 !m;
+                    a'
+                  in
+                  ias := grow !ias;
+                  ibs := grow !ibs
+                end;
+                !ias.(!m) <- ia;
+                !ibs.(!m) <- ib;
+                incr m)
+              matches
+    done;
+    (!ias, !ibs, !m)
+  in
+  let par_pairs () =
+    let probe ia =
+      let k = Array.make nkeys 0 in
+      if not (key_into k ia) then []
+      else
+        match Hashtbl.find_opt index k with
         | None -> []
         | Some matches ->
-            List.rev_map
-              (fun rb ->
-                Array.append ra (Array.map (fun i -> rb.(i)) kept_b_idx))
-              matches)
-      (Table.rows ta)
+            Array.fold_right (fun ib acc -> (ia, ib) :: acc) matches []
+    in
+    (* The build index and translation maps are immutable once populated,
+       so probe chunks may read them from several domains concurrently;
+       pair chunks concatenate in row order, matching the sequential
+       probe loop exactly. *)
+    let pairs =
+      Par.Pool.concat_map_list ~min_chunk:probe_min_chunk probe
+        (List.init na Fun.id)
+    in
+    let m = List.length pairs in
+    let ias = Array.make (max 1 m) 0 and ibs = Array.make (max 1 m) 0 in
+    List.iteri
+      (fun k (ia, ib) ->
+        ias.(k) <- ia;
+        ibs.(k) <- ib)
+      pairs;
+    (ias, ibs, m)
   in
-  Table.of_rows
+  let ias, ibs, m =
+    if Par.Pool.degree ~min_chunk:probe_min_chunk na <= 1 then seq_pairs ()
+    else par_pairs ()
+  in
+  let col_from t idxs j =
+    let src = Table.codes t j in
+    let data = Array.make (max 1 m) 0 in
+    for k = 0 to m - 1 do
+      data.(k) <- src.(idxs.(k))
+    done;
+    (Table.dict t j, data)
+  in
+  Table.of_columns
     ~name:(Table.name ta ^ "|x|" ^ Table.name tb)
-    (Schema.append sa kept_b) rows
+    (Schema.append sa kept_b) ~nrows:m
+    (Array.append
+       (Array.init (Schema.arity sa) (col_from ta ias))
+       (Array.of_list (List.map (fun jb -> col_from tb ibs jb) (List.map (Schema.index sb) kept_b))))
 
 let add_column ~name f t =
   let schema = Schema.append (Table.schema t) [ name ] in
-  Table.of_rows ~name:(Table.name t) schema
-    (List.map (fun row -> Array.append row [| f row |]) (Table.rows t))
+  let n = Table.cardinality t in
+  let d = Dict.create () in
+  let extra = Array.init n (fun i -> Dict.intern d (f (Table.get t i))) in
+  let shared =
+    Array.init (Table.arity t) (fun j ->
+        (Table.dict t j, Array.sub (Table.codes t j) 0 n))
+  in
+  Table.of_columns ~name:(Table.name t) schema ~nrows:n
+    (Array.append shared [| (d, extra) |])
 
 let group_count ~by t =
   let projected = project by t in
-  let counts = Row.Tbl.create 64 in
+  let n = Table.cardinality projected in
+  let arity = Table.arity projected in
+  let cols = Array.init arity (Table.codes projected) in
+  let counts = Hashtbl.create 64 in
   let order = ref [] in
-  Table.iter
-    (fun row ->
-      match Row.Tbl.find_opt counts row with
-      | Some n -> Row.Tbl.replace counts row (n + 1)
-      | None ->
-          Row.Tbl.add counts row 1;
-          order := row :: !order)
-    projected;
-  List.rev_map (fun row -> row, Row.Tbl.find counts row) !order
+  for i = 0 to n - 1 do
+    let key = Array.map (fun cs -> cs.(i)) cols in
+    match Hashtbl.find_opt counts key with
+    | Some c -> Hashtbl.replace counts key (c + 1)
+    | None ->
+        Hashtbl.add counts key 1;
+        order := (i, key) :: !order
+  done;
+  List.rev_map
+    (fun (i, key) -> (Table.get projected i, Hashtbl.find counts key))
+    !order

@@ -19,20 +19,27 @@ type t =
   | Group_count of string list * t
   | Empty of string list
 
+(* The index cache is keyed by (table name, column) but each entry also
+   remembers the Table.id of the snapshot it was built from: a CREATE
+   TABLE … AS that re-registers the same name produces a table with a
+   fresh id, so the stale entry is detected and rebuilt on next use
+   instead of silently serving rows of the dead snapshot. *)
 type store = {
   db : Database.t;
-  cache : (string * string, Index.t) Hashtbl.t;
+  cache : (string * string, int * Index.t) Hashtbl.t;
 }
 
 let make_store db = { db; cache = Hashtbl.create 16 }
 let store_db store = store.db
+let with_db store db = { db; cache = store.cache }
 
 let index_of store table column =
+  let current = Database.find store.db table in
   match Hashtbl.find_opt store.cache (table, column) with
-  | Some i -> i
-  | None ->
-      let i = Index.build (Database.find store.db table) column in
-      Hashtbl.add store.cache (table, column) i;
+  | Some (id, i) when id = Table.id current -> i
+  | _ ->
+      let i = Index.build current column in
+      Hashtbl.replace store.cache (table, column) (Table.id current, i);
       i
 
 let indexed_columns indexes table =
@@ -82,9 +89,7 @@ let rec physicalize ~indexes (p : Plan.t) : t =
 let execute_access store = function
   | Seq_scan name -> Database.find store.db name
   | Index_lookup { table; column; value; residual } ->
-      let source = Database.find store.db table in
-      let rows = Index.lookup (index_of store table column) value in
-      let t = Table.of_rows ~name:table (Table.schema source) rows in
+      let t = Index.lookup_gather (index_of store table column) value in
       (match residual with
       | None -> t
       | Some pred -> Ops.select ~funcs:(Database.functions store.db) pred t)

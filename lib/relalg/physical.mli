@@ -33,12 +33,20 @@ type t =
   | Empty of string list
 
 type store
-(** Lazy index cache bound to one database snapshot. *)
+(** Lazy index cache bound to one database snapshot.  Entries remember
+    the {!Table.id} of the snapshot they were built from, so a table
+    re-registered under the same name (e.g. by [CREATE TABLE … AS]) is
+    re-indexed on next use instead of served stale. *)
 
 val make_store : Database.t -> store
 
 val store_db : store -> Database.t
 (** The database snapshot the store was built over. *)
+
+val with_db : store -> Database.t -> store
+(** The same index cache over a different database snapshot — the way to
+    carry warm indexes across [CREATE TABLE]/[INSERT] statements.  Cache
+    entries whose table changed storage identity are rebuilt lazily. *)
 
 val indexed_columns : (string * string) list -> string -> string list
 (** Columns declared indexed for a table, from a [(table, column)] list. *)

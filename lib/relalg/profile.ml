@@ -3,6 +3,7 @@ type column_stats = {
   distinct : int;
   nulls : int;
   most_common : (Value.t * int) option;
+  dict_entries : int;
 }
 
 type t = {
@@ -12,32 +13,44 @@ type t = {
   null_cells : int;
   total_cells : int;
   per_column : column_stats list;
+  storage_bytes : int;
+  dict_hit_rate : float;
 }
 
 let sparsity p =
   if p.total_cells = 0 then 0.
   else float_of_int p.null_cells /. float_of_int p.total_cells
 
+(* Frequencies come straight off the code arrays: one int-indexed count
+   per dictionary code, decoded only for the winner. *)
 let column_stats tbl idx column =
-  let counts = Hashtbl.create 16 in
-  let nulls = ref 0 in
-  Table.iter
-    (fun row ->
-      match row.(idx) with
-      | Value.Null -> incr nulls
-      | v ->
-          Hashtbl.replace counts v
-            (1 + Option.value (Hashtbl.find_opt counts v) ~default:0))
-    tbl;
-  let most_common =
-    Hashtbl.fold
-      (fun v n best ->
-        match best with
-        | Some (_, m) when m >= n -> best
-        | _ -> Some (v, n))
-      counts None
-  in
-  { column; distinct = Hashtbl.length counts; nulls = !nulls; most_common }
+  let dict = Table.dict tbl idx in
+  let codes = Table.codes tbl idx in
+  let n = Table.cardinality tbl in
+  let counts = Array.make (max 1 (Dict.size dict)) 0 in
+  for i = 0 to n - 1 do
+    counts.(codes.(i)) <- counts.(codes.(i)) + 1
+  done;
+  let nulls = ref 0 and distinct = ref 0 in
+  let best = ref None in
+  Array.iteri
+    (fun c k ->
+      if k > 0 then
+        match Dict.value dict c with
+        | Value.Null -> nulls := k
+        | v -> (
+            incr distinct;
+            match !best with
+            | Some (_, m) when m >= k -> ()
+            | _ -> best := Some (v, k)))
+    counts;
+  {
+    column;
+    distinct = !distinct;
+    nulls = !nulls;
+    most_common = !best;
+    dict_entries = Dict.size dict;
+  }
 
 let profile tbl =
   let schema = Table.schema tbl in
@@ -53,6 +66,8 @@ let profile tbl =
     null_cells = List.fold_left (fun acc c -> acc + c.nulls) 0 per_column;
     total_cells = rows * columns;
     per_column;
+    storage_bytes = Table.storage_bytes tbl;
+    dict_hit_rate = Table.dict_hit_rate tbl;
   }
 
 let column_sparsity p c =
@@ -64,12 +79,17 @@ let to_string p =
     "%s: %d rows x %d columns, %.0f%% of cells are NULL\n" p.table p.rows
     p.columns
     (100. *. sparsity p);
+  Printf.ksprintf (Buffer.add_string buf)
+    "storage: %s columnar (dictionary hit rate %.0f%%)\n"
+    (Obs.Json.human_bytes p.storage_bytes)
+    (100. *. p.dict_hit_rate);
   List.iter
     (fun c ->
       Printf.ksprintf (Buffer.add_string buf)
-        "  %-12s %4d distinct, %5d null (%3.0f%% sparse)%s\n" c.column
-        c.distinct c.nulls
+        "  %-12s %4d distinct, %5d null (%3.0f%% sparse), dict %3d%s\n"
+        c.column c.distinct c.nulls
         (100. *. column_sparsity p c)
+        c.dict_entries
         (match c.most_common with
         | Some (v, n) ->
             Printf.sprintf ", mode %s (%d, %.0f%% of rows)"

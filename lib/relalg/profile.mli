@@ -11,6 +11,9 @@ type column_stats = {
   distinct : int;  (** distinct non-NULL values *)
   nulls : int;  (** NULL (dont-care / no-op) cells *)
   most_common : (Value.t * int) option;
+  dict_entries : int;
+      (** size of the column's dictionary; can exceed [distinct] when the
+          dictionary is shared with an ancestor table *)
 }
 
 type t = {
@@ -20,6 +23,8 @@ type t = {
   null_cells : int;
   total_cells : int;
   per_column : column_stats list;
+  storage_bytes : int;  (** {!Table.storage_bytes} of the profiled table *)
+  dict_hit_rate : float;  (** {!Table.dict_hit_rate} of the profiled table *)
 }
 
 val sparsity : t -> float

@@ -156,7 +156,9 @@ let generate ?funcs s =
   Obs.Metrics.add (obs_counter "candidates") !candidates;
   Obs.Metrics.add (obs_counter "evaluations") !evaluations;
   Obs.Metrics.add (obs_counter "rows_generated") (List.length rows);
-  ( Table.of_rows ~name:s.sname schema rows,
+  let table = Table.of_rows ~name:s.sname schema rows in
+  Obs.Metrics.add (obs_counter "storage_bytes") (Table.storage_bytes table);
+  ( table,
     {
       candidates = !candidates;
       evaluations = !evaluations;

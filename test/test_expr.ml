@@ -113,6 +113,116 @@ let prop_compile_agrees =
        ~print:(fun (e, _) -> Format.asprintf "%a" Expr.pp e))
     (fun (e, r) -> Expr.compile schema e r = Expr.eval schema r e)
 
+(* --- compile_columns: the dictionary-compiled evaluator ------------- *)
+
+(* Random tables with NULL cells, and expressions that exercise every
+   compiled atom: constants absent from the dictionaries ("zz"), NULL
+   literals, IN masks, function memo tables, and column-column equality
+   (which crosses two dictionaries). *)
+let cell_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        1, return Value.Null;
+        4, map Value.str (oneofl [ "readex"; "data"; "SI"; "I"; "one"; "zero" ]);
+      ])
+
+let table_rows_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 30)
+      (map3 (fun a b c -> [| a; b; c |]) cell_gen cell_gen cell_gen))
+
+let columns_funcs name =
+  if name = "shortname" then
+    Some
+      (fun v ->
+        (not (Value.equal v Value.Null))
+        && String.length (Value.to_string v) <= 2)
+  else None
+
+let columns_expr_gen =
+  let open QCheck.Gen in
+  let cols = oneofl [ "inmsg"; "dirst"; "dirpv" ] in
+  let vals =
+    oneofl [ "readex"; "data"; "SI"; "I"; "one"; "zero"; "zz" ]
+    (* "zz" never occurs in a table: the constant-false compile path *)
+  in
+  let atom =
+    oneof
+      [
+        return Expr.True;
+        return Expr.False;
+        map2 Expr.eq cols vals;
+        map2 Expr.neq cols vals;
+        map Expr.eq_null cols;
+        map2 (fun c vs -> Expr.isin c vs) cols (list_size (int_bound 3) vals);
+        map (fun c -> Expr.Fn ("shortname", Expr.Col c)) cols;
+        map2 (fun a b -> Expr.Eq (Expr.Col a, Expr.Col b)) cols cols;
+        map2 (fun a b -> Expr.Neq (Expr.Col a, Expr.Col b)) cols cols;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then atom
+         else
+           frequency
+             [
+               3, atom;
+               2, map2 (fun a b -> Expr.And (a, b)) (self (n / 2)) (self (n / 2));
+               2, map2 (fun a b -> Expr.Or (a, b)) (self (n / 2)) (self (n / 2));
+               1, map (fun a -> Expr.Not a) (self (n / 2));
+               1,
+                 map3
+                   (fun a b c -> Expr.Ternary (a, b, c))
+                   (self (n / 3)) (self (n / 3)) (self (n / 3));
+             ])
+
+let prop_compile_columns_agrees =
+  QCheck.Test.make ~count:500
+    ~name:"Expr.compile_columns agrees with Expr.eval (incl. NULLs)"
+    (QCheck.make
+       QCheck.Gen.(pair columns_expr_gen table_rows_gen)
+       ~print:(fun (e, rows) ->
+         Format.asprintf "%a on %d rows" Expr.pp e (List.length rows)))
+    (fun (e, rows) ->
+      let t = Table.of_rows ~name:"t" schema rows in
+      let compiled =
+        Expr.compile_columns ~funcs:columns_funcs schema ~dict:(Table.dict t)
+          ~codes:(Table.codes t) e
+      in
+      let ok = ref true in
+      List.iteri
+        (fun i row ->
+          if compiled i <> Expr.eval ~funcs:columns_funcs schema row e then
+            ok := false)
+        rows;
+      !ok)
+
+(* The compiled predicate must also agree on derived tables, whose
+   dictionaries are shared with (and can be larger than) the column's
+   own value set. *)
+let prop_compile_columns_on_derived =
+  QCheck.Test.make ~count:200
+    ~name:"Expr.compile_columns agrees on selection-derived tables"
+    (QCheck.make
+       QCheck.Gen.(pair columns_expr_gen table_rows_gen)
+       ~print:(fun (e, rows) ->
+         Format.asprintf "%a on %d rows" Expr.pp e (List.length rows)))
+    (fun (e, rows) ->
+      let t = Table.of_rows ~name:"t" schema rows in
+      let sub = Ops.select (Expr.Not (Expr.eq_null "inmsg")) t in
+      let compiled =
+        Expr.compile_columns ~funcs:columns_funcs schema
+          ~dict:(Table.dict sub) ~codes:(Table.codes sub) e
+      in
+      let ok = ref true in
+      List.iteri
+        (fun i row ->
+          if compiled i <> Expr.eval ~funcs:columns_funcs schema row e then
+            ok := false)
+        (Table.rows sub);
+      !ok)
+
 let prop_ternary_expansion =
   QCheck.Test.make ~count:500
     ~name:"cond ? a : b  ==  (cond and a) or (not cond and b)"
@@ -129,5 +239,7 @@ let suite =
     Alcotest.test_case "registered functions" `Quick test_functions;
     Alcotest.test_case "free columns" `Quick test_free_columns;
     Test_seed.to_alcotest prop_compile_agrees;
+    Test_seed.to_alcotest prop_compile_columns_agrees;
+    Test_seed.to_alcotest prop_compile_columns_on_derived;
     Test_seed.to_alcotest prop_ternary_expansion;
   ]

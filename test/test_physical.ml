@@ -107,6 +107,35 @@ let test_store_caches_indexes () =
   (* warm lookups must not rebuild the index; allow generous slack *)
   check "cache is effective" true (warm_each < cold +. 0.01)
 
+(* Regression: CREATE TABLE … AS re-registers a name in the database; a
+   store carried across that statement (Physical.with_db) must notice the
+   table's storage identity changed and re-index instead of serving rows
+   of the dead snapshot. *)
+let test_store_invalidates_replaced_table () =
+  let schema = Schema.of_list [ "k"; "v" ] in
+  let mk rows =
+    Table.of_rows ~name:"T" schema (List.map Row.strings rows)
+  in
+  let db1 = Database.of_tables [ mk [ [ "a"; "1" ]; [ "b"; "2" ] ] ] in
+  let store1 = Physical.make_store db1 in
+  let indexes = [ "T", "k" ] in
+  let q = "SELECT * FROM T WHERE k = 'a'" in
+  check_int "initial index sees one row" 1
+    (Table.cardinality (Physical.run ~indexes store1 q));
+  (* same name, new storage (as Sql_exec's Create_table_as does) *)
+  let db2 =
+    Database.replace db1 (mk [ [ "a"; "10" ]; [ "a"; "11" ]; [ "c"; "3" ] ])
+  in
+  let store2 = Physical.with_db store1 db2 in
+  let fresh = Physical.run ~indexes store2 q in
+  check_int "index rebuilt for replaced table" 2 (Table.cardinality fresh);
+  check "rows come from the new snapshot" true
+    (Table.equal_as_sets fresh
+       (mk [ [ "a"; "10" ]; [ "a"; "11" ] ]));
+  (* and the old snapshot still answers through its own store *)
+  check_int "old store unaffected" 1
+    (Table.cardinality (Physical.run ~indexes store1 q))
+
 let test_explain_physical () =
   let p =
     Physical.physicalize ~indexes:d_indexes
@@ -129,6 +158,8 @@ let suite =
     Alcotest.test_case "physicalize falls back to scan" `Quick test_physicalize_without_index;
     Alcotest.test_case "physical agrees with executor" `Quick test_physical_agrees_with_executor;
     Alcotest.test_case "index cache" `Quick test_store_caches_indexes;
+    Alcotest.test_case "index cache invalidation" `Quick
+      test_store_invalidates_replaced_table;
     Alcotest.test_case "physical explain" `Quick test_explain_physical;
     Test_seed.to_alcotest prop_index_agrees_with_scan;
   ]
