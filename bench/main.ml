@@ -311,6 +311,34 @@ let write_json ~domains measurements =
         | _ -> None)
       rep_workloads
   in
+  (* Seq/par pairs where the parallel run is a slowdown (speedup < 1.0):
+     surfaced both as a dedicated JSON array and as one-line warnings, so
+     a CI log shows the regression without parsing the snapshot. *)
+  let regressions =
+    List.filter_map
+      (fun name ->
+        match
+          List.assoc_opt name measurements,
+          List.assoc_opt (name ^ "-par") measurements
+        with
+        | Some seq_ns, Some par_ns when seq_ns /. par_ns < 1.0 ->
+            let speedup = seq_ns /. par_ns in
+            Printf.printf
+              "WARNING: %s: parallel run is %.2fx the sequential time \
+               (speedup %.2f < 1.0 at %d domains)\n"
+              name (par_ns /. seq_ns) speedup domains;
+            Some
+              (Obs.Json.Obj
+                 [
+                   "name", Obs.Json.Str name;
+                   "seq_ns", Obs.Json.Float seq_ns;
+                   "par_ns", Obs.Json.Float par_ns;
+                   "domains", Obs.Json.Int domains;
+                   "speedup", Obs.Json.Float speedup;
+                 ])
+        | _ -> None)
+      paired_names
+  in
   let json =
     Obs.Json.Obj
       [
@@ -331,6 +359,7 @@ let write_json ~domains measurements =
                    ])
                measurements) );
         "pairs", Obs.Json.List pairs;
+        "regressions", Obs.Json.List regressions;
         "representation", Obs.Json.List representation;
       ]
   in

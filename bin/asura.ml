@@ -161,6 +161,31 @@ let assignment_conv =
   in
   Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt v.Checker.Vcassign.name)
 
+(* Like [assignment_conv] but also accepts a CSV file (columns m,s,d,v),
+   so externally-edited channel assignments can be analyzed directly. *)
+let assignment_or_csv_conv =
+  let parse = function
+    | "initial" -> Ok Checker.Vcassign.initial
+    | "vc4" -> Ok Checker.Vcassign.with_vc4
+    | "debugged" -> Ok Checker.Vcassign.debugged
+    | path when Sys.file_exists path -> (
+        try
+          Ok
+            (Checker.Vcassign.of_table
+               (Relalg.Csv.load
+                  ~name:(Filename.remove_extension (Filename.basename path))
+                  ~filename:path))
+        with Relalg.Csv.Csv_error { line; message } ->
+          Error (`Msg (Printf.sprintf "%s: line %d: %s" path line message)))
+    | s ->
+        Error
+          (`Msg
+             ("unknown assignment " ^ s
+            ^ " (initial|vc4|debugged, or a CSV file with columns m,s,d,v)"))
+  in
+  Arg.conv
+    (parse, fun fmt v -> Format.pp_print_string fmt v.Checker.Vcassign.name)
+
 let deadlock_cmd =
   let assignment =
     Arg.(
@@ -200,6 +225,78 @@ let deadlock_cmd =
          "Build the virtual-channel dependency graph and report cycles \
           (paper sections 4.1-4.2).")
     Term.(const run $ setup_term $ assignment $ dot $ narrative)
+
+(* -------------------------------- why -------------------------------- *)
+
+let why_cmd =
+  let what =
+    Arg.(
+      required
+      & pos 0 (some (enum [ "deadlock", `Deadlock; "invariant", `Invariant ]))
+          None
+      & info [] ~docv:"WHAT"
+          ~doc:"$(b,deadlock), or $(b,invariant) followed by an invariant id.")
+  in
+  let inv_id =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Invariant id (with $(b,why invariant); see $(b,invariants -a)).")
+  in
+  let assignment =
+    Arg.(
+      value
+      & opt assignment_or_csv_conv Checker.Vcassign.with_vc4
+      & info [ "vc" ] ~docv:"ASSIGNMENT"
+          ~doc:
+            "Virtual-channel assignment to explain: $(b,initial), $(b,vc4), \
+             $(b,debugged), or a CSV file with columns m,s,d,v (as written \
+             by $(b,export)).")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Emit the witness subgraph (cycle channels, edges labeled with \
+             a witnessing dependency and its controller-row origin) in \
+             Graphviz format instead of the narrative.")
+  in
+  let run () what inv_id assignment dot =
+    match what with
+    | `Deadlock ->
+        let r = Checker.Deadlock.analyze assignment in
+        if dot then print_string (Checker.Why.deadlock_dot r)
+        else print_string (Checker.Why.deadlock r);
+        if not (Checker.Deadlock.is_deadlock_free r) then exit 1
+    | `Invariant -> (
+        match inv_id with
+        | None ->
+            prerr_endline
+              "why invariant: missing invariant id (see asura invariants -a)";
+            exit 2
+        | Some id -> (
+            match Checker.Invariant.find id with
+            | None ->
+                Printf.eprintf "unknown invariant %s\n" id;
+                exit 2
+            | Some inv ->
+                let passed, text =
+                  Checker.Why.invariant (Protocol.database ()) inv
+                in
+                print_string text;
+                if not passed then exit 1))
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Explain a verdict from row-level provenance: render each VCG \
+          cycle as the controller transitions behind it (the paper's \
+          Figure 4 narrative, reconstructed automatically), or decode an \
+          invariant violation back to the base-table rows it was derived \
+          from.")
+    Term.(const run $ setup_term $ what $ inv_id $ assignment $ dot)
 
 (* ------------------------------- map --------------------------------- *)
 
@@ -313,7 +410,16 @@ let mcheck_cmd =
       & info [ "depth-profile" ]
           ~doc:"Print the per-depth expansion histogram of the BFS.")
   in
-  let run () nodes addrs max_states evictions depth_profile =
+  let msc =
+    Arg.(
+      value & flag
+      & info [ "msc" ]
+          ~doc:
+            "On a violation, render the counterexample trace as a \
+             message-sequence chart (the form of the paper's Figures 2 \
+             and 4) instead of raw trace lines.")
+  in
+  let run () nodes addrs max_states evictions depth_profile msc_flag =
     let ops =
       [ "load"; "store" ] @ if evictions then [ "evictmod"; "evictsh" ] else []
     in
@@ -325,7 +431,11 @@ let mcheck_cmd =
     if depth_profile then Format.printf "%a" Mcheck.Explore.pp_depth_profile r;
     match r.Mcheck.Explore.violation with
     | Some v ->
-        List.iter print_endline v.Mcheck.Explore.trace;
+        if msc_flag then
+          print_string
+            (Sim.Msc.render_run ~title:"counterexample replay"
+               v.Mcheck.Explore.trace)
+        else List.iter print_endline v.Mcheck.Explore.trace;
         exit 1
     | None -> ()
   in
@@ -336,7 +446,7 @@ let mcheck_cmd =
           Murphi-style baseline the paper compares against).")
     Term.(
       const run $ setup_term $ nodes $ addrs $ max_states $ evictions
-      $ depth_profile)
+      $ depth_profile $ msc)
 
 (* -------------------------------- sql -------------------------------- *)
 
@@ -415,8 +525,16 @@ let stats_cmd =
           ~doc:"Controller table (D M C N RAC IO PIF LK), ED, or an \
                 implementation table name.")
   in
-  let run () table =
-    print_string (Relalg.Profile.to_string (Relalg.Profile.profile (resolve_table table)))
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the profile as a JSON object instead of text.")
+  in
+  let run () table json_flag =
+    let p = Relalg.Profile.profile (resolve_table table) in
+    if json_flag then print_endline (Obs.Json.to_string (Relalg.Profile.to_json p))
+    else print_string (Relalg.Profile.to_string p)
   in
   Cmd.v
     (Cmd.info "stats"
@@ -426,7 +544,7 @@ let stats_cmd =
           paper's \"quite sparse\" observation), plus the columnar \
           storage footprint — total bytes, dictionary hit rate, and \
           per-column dictionary sizes.")
-    Term.(const run $ setup_term $ table)
+    Term.(const run $ setup_term $ table $ json)
 
 (* ------------------------------ report ------------------------------- *)
 
@@ -490,19 +608,35 @@ let explain_cmd =
             "With $(b,--analyze): declare a hash index, enabling the \
              index-lookup access path.  Repeatable.")
   in
-  let run () query analyze indexes =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "With $(b,--analyze): emit the measured operator tree as a \
+             JSON object instead of text.")
+  in
+  let run () query analyze indexes json_flag =
     if analyze then begin
       let store = Relalg.Physical.make_store (Protocol.database ()) in
       let r = Relalg.Analyze.run ~indexes store query in
-      Printf.printf "physical plan:\n%s\nexecution:\n%s"
-        (Relalg.Physical.explain r.Relalg.Analyze.physical)
-        (Relalg.Analyze.render r)
+      if json_flag then
+        print_endline (Obs.Json.to_string (Relalg.Analyze.to_json r))
+      else
+        Printf.printf "physical plan:\n%s\nexecution:\n%s"
+          (Relalg.Physical.explain r.Relalg.Analyze.physical)
+          (Relalg.Analyze.render r)
     end
-    else
+    else begin
+      if json_flag then begin
+        prerr_endline "explain: --json requires --analyze";
+        exit 2
+      end;
       let plan = Relalg.Plan.of_query (Relalg.Sql_parser.parse_query query) in
       Printf.printf "plan:\n%s\noptimized:\n%s"
         (Relalg.Plan.explain plan)
         (Relalg.Plan.explain (Relalg.Plan.optimize plan))
+    end
   in
   Cmd.v
     (Cmd.info "explain"
@@ -510,7 +644,7 @@ let explain_cmd =
          "Show the logical query plan before and after optimization; \
           with --analyze, execute it and report per-operator row counts \
           and timings.")
-    Term.(const run $ setup_term $ query $ analyze $ index)
+    Term.(const run $ setup_term $ query $ analyze $ index $ json)
 
 let () =
   let doc =
@@ -522,7 +656,7 @@ let () =
        (Cmd.group
           (Cmd.info "asura" ~version:"1.0.0" ~doc)
           [
-            generate_cmd; invariants_cmd; deadlock_cmd; map_cmd; simulate_cmd;
-            mcheck_cmd; sql_cmd; report_cmd; explain_cmd; export_cmd;
-            stats_cmd;
+            generate_cmd; invariants_cmd; deadlock_cmd; why_cmd; map_cmd;
+            simulate_cmd; mcheck_cmd; sql_cmd; report_cmd; explain_cmd;
+            export_cmd; stats_cmd;
           ]))

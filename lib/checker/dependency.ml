@@ -12,7 +12,11 @@ type provenance =
       exact : bool;
     }
 
-type entry = { dep : dep; provenance : provenance }
+type entry = {
+  dep : dep;
+  provenance : provenance;
+  origin : (string * int) list;
+}
 
 let obs_reg = lazy (Obs.Metrics.registry "checker")
 let obs_counter name = Obs.Metrics.counter (Lazy.force obs_reg) name
@@ -50,7 +54,7 @@ let individual ~v (c : Protocol.controller) =
   let tbl = Protocol.Ctrl_spec.table c.Protocol.spec in
   let schema = Table.schema tbl in
   let name = Protocol.Ctrl_spec.name c.Protocol.spec in
-  let of_row row =
+  let of_row i row =
     List.concat_map
       (fun in_triple ->
         match
@@ -64,13 +68,22 @@ let individual ~v (c : Protocol.controller) =
                   (Option.bind (triple_of_row schema row out_triple)
                      (assign_of ~v))
                   (fun output ->
-                    Some { dep = { input; output }; provenance = Direct name }))
+                    Some
+                      {
+                        dep = { input; output };
+                        provenance = Direct name;
+                        origin = [ (name, i) ];
+                      }))
               c.Protocol.out_triples)
       c.Protocol.in_triples
   in
-  (* stream the table row by row instead of materializing the decoded
-     row list first *)
-  List.concat (List.rev (Table.fold (fun acc row -> of_row row :: acc) [] tbl))
+  (* indexed scan, decoding one row at a time: the row number becomes the
+     entry's origin so diagnostics can point back at the controller row *)
+  let acc = ref [] in
+  for i = Table.cardinality tbl - 1 downto 0 do
+    acc := of_row i (Table.get tbl i) :: !acc
+  done;
+  List.concat !acc
 
 let relocate placement d =
   let c = Protocol.Topology.canon_string placement in
@@ -84,13 +97,16 @@ let matches ~ignore_messages out inp =
 (* Pure pairwise composition — no observability recording, so it is safe
    to run on pool worker domains; callers account the match counts after
    the join. *)
+let merge_origin a b =
+  a @ List.filter (fun x -> not (List.mem x a)) b
+
 let compose_core ~ignore_messages ~placement (n1, t1) (n2, t2) =
-  let t1 = List.map (fun e -> relocate placement e.dep) t1 in
-  let t2 = List.map (fun e -> relocate placement e.dep) t2 in
+  let reloc t = List.map (fun e -> (relocate placement e.dep, e.origin)) t in
+  let t1 = reloc t1 and t2 = reloc t2 in
   List.concat_map
-    (fun r ->
+    (fun (r, ro) ->
       List.filter_map
-        (fun s ->
+        (fun (s, so) ->
           if matches ~ignore_messages r.output s.input then
             Some
               {
@@ -103,6 +119,7 @@ let compose_core ~ignore_messages ~placement (n1, t1) (n2, t2) =
                       placement;
                       exact = not ignore_messages;
                     };
+                origin = merge_origin ro so;
               }
           else None)
         t2)
@@ -247,3 +264,9 @@ let pp_provenance fmt = function
       Format.fprintf fmt "composed %s . %s under %s%s" first second
         (Protocol.Topology.placement_to_string placement)
         (if exact then "" else " ignoring messages")
+
+let pp_origin fmt origin =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " + ")
+    (fun fmt (table, row) -> Format.fprintf fmt "%s[row %d]" table row)
+    fmt origin

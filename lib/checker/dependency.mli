@@ -31,7 +31,15 @@ type provenance =
       exact : bool;  (** false when matched ignoring messages *)
     }
 
-type entry = { dep : dep; provenance : provenance }
+type entry = {
+  dep : dep;
+  provenance : provenance;
+  origin : (string * int) list;
+      (** Row-level lineage: the controller-table rows this dependency was
+          read off, as (controller name, 0-based row index) pairs.  A
+          [Direct] entry has exactly one; a [Composed] entry the union of
+          both parents', order preserved. *)
+}
 
 val individual : v:Vcassign.t -> Protocol.controller -> entry list
 (** The individual controller dependency table. *)
@@ -85,3 +93,6 @@ val to_table : name:string -> entry list -> Relalg.Table.t
 
 val pp_dep : Format.formatter -> dep -> unit
 val pp_provenance : Format.formatter -> provenance -> unit
+
+val pp_origin : Format.formatter -> (string * int) list -> unit
+(** ["D[row 12] + M[row 3]"]. *)

@@ -1,0 +1,37 @@
+(** Explainable verdicts: from a failing check back to the table rows
+    that caused it.
+
+    The paper's workflow hands designers a cycle of virtual channels and
+    expects them to reconstruct the offending protocol scenario by hand
+    (the Figure 4 narrative: a writeback and a read-exclusive
+    interleaved over VC2/VC4).  This module automates that
+    reconstruction using the row-level provenance now carried by the
+    engine:
+
+    - each dependency entry knows the controller rows it was read off
+      ({!Dependency.entry}[.origin]), so every cycle edge can be
+      rendered as concrete controller transitions — which message is
+      consumed, in which state, and which messages are emitted;
+    - SQL invariant violations propagate {!Relalg.Lineage} through the
+      relational operators, so every violating row can be decoded back
+      into the base-table rows it was derived from. *)
+
+val deadlock : Deadlock.report -> string
+(** A Figure-4-style narrative for each VCG cycle: the channels in
+    order; per edge, the witnessing dependencies with the controller
+    rows behind them (non-NULL cells only — the transition's input
+    message, state fields and output messages); and, per channel on the
+    cycle, which controller transitions send into it (the traffic that
+    can fill the queue and stall the cycle). *)
+
+val deadlock_dot : Deadlock.report -> string
+(** Graphviz export of just the witness subgraph: the channels on some
+    cycle, each edge labeled with one witnessing dependency and its
+    controller-row origin. *)
+
+val invariant : Relalg.Database.t -> Invariant.t -> bool * string
+(** Re-run one invariant under {!Relalg.Lineage.with_tracking} and
+    explain the outcome: [(passed, narrative)].  For a violated SQL
+    invariant every counterexample row is printed together with the
+    base-table rows its lineage decodes to; native checks that build
+    rows from scratch are reported without lineage. *)

@@ -214,8 +214,9 @@ let render_registry buf r =
       gauges;
     List.iter
       (fun h ->
-        pr "  %-32s n=%d mean=%.1f p50=%.1f p90=%.1f max=%.1f\n" h.h_name h.n
-          (mean h) (quantile h 0.5) (quantile h 0.9)
+        pr "  %-32s n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n"
+          h.h_name h.n (mean h) (quantile h 0.5) (quantile h 0.95)
+          (quantile h 0.99)
           (if h.n = 0 then 0. else h.h_max);
         if h.n > 0 then begin
           pr "    buckets:";

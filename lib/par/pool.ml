@@ -79,6 +79,80 @@ let ensure_workers n =
   end
   else Mutex.unlock pool.lock
 
+(* --------------------- contention instrumentation ---------------------
+   Workers stay metric-free (the determinism contract): each chunk only
+   stamps raw clock readings into caller-owned arrays, and the spawning
+   domain folds them into the "par" registry after the join.  With
+   observability off no clock is read and no array is allocated. *)
+
+let obs_reg = lazy (Obs.Metrics.registry "par")
+
+let ms_bounds = Obs.Metrics.exponential_bounds ~start:0.01 ~factor:4. 12
+
+let chunk_hist =
+  lazy (Obs.Metrics.histogram ~bounds:ms_bounds (Lazy.force obs_reg) "chunk_ms")
+
+let wait_hist =
+  lazy
+    (Obs.Metrics.histogram ~bounds:ms_bounds (Lazy.force obs_reg)
+       "queue_wait_ms")
+
+(* Stable short labels for the domains that ever ran a chunk, in order of
+   first appearance ("d0" is whichever domain spawned the first region). *)
+let slot_lock = Mutex.create ()
+let slots : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let slot_name did =
+  Mutex.lock slot_lock;
+  let name =
+    match Hashtbl.find_opt slots did with
+    | Some s -> s
+    | None ->
+        let s = Printf.sprintf "d%d" (Hashtbl.length slots) in
+        Hashtbl.add slots did s;
+        s
+  in
+  Mutex.unlock slot_lock;
+  name
+
+let us ns = Int64.to_int (Int64.div ns 1000L)
+
+let record_region ~t0 ~starts ~stops ~doms n =
+  let reg = Lazy.force obs_reg in
+  Obs.Metrics.incr (Obs.Metrics.counter reg "regions");
+  Obs.Metrics.add (Obs.Metrics.counter reg "chunks") n;
+  let join_t = Obs.Clock.now_ns () in
+  for i = 0 to n - 1 do
+    if stops.(i) <> 0L then begin
+      let busy = Int64.sub stops.(i) starts.(i) in
+      let wait = Int64.sub starts.(i) t0 in
+      Obs.Metrics.observe (Lazy.force chunk_hist) (Obs.Clock.to_ms busy);
+      Obs.Metrics.observe (Lazy.force wait_hist) (Obs.Clock.to_ms wait);
+      let s = slot_name doms.(i) in
+      Obs.Metrics.add (Obs.Metrics.counter reg ("busy_us." ^ s)) (us busy);
+      Obs.Metrics.add (Obs.Metrics.counter reg ("idle_us." ^ s)) (us wait)
+    end
+  done;
+  (* how long the spawning domain sat at the barrier after finishing its
+     own chunk — the load-imbalance cost of the region *)
+  if stops.(0) <> 0L then
+    Obs.Metrics.add
+      (Obs.Metrics.counter reg "join_wait_us")
+      (us (Int64.sub join_t stops.(0)))
+
+(* Time spent by the spawning domain stitching chunk results back
+   together (Array.concat / List.concat in the entry points below). *)
+let timed_merge f =
+  if not (Obs.Config.on ()) then f ()
+  else begin
+    let t0 = Obs.Clock.now_ns () in
+    let r = f () in
+    Obs.Metrics.add
+      (Obs.Metrics.counter (Lazy.force obs_reg) "merge_us")
+      (us (Obs.Clock.since t0));
+    r
+  end
+
 (* Run every thunk, chunk 0 on the calling domain, the rest on workers;
    return only once all have finished.  The first exception (by chunk
    index) is re-raised in the calling domain after the join, so a failing
@@ -88,6 +162,19 @@ let run_chunks (thunks : (unit -> unit) array) =
   if n = 1 then thunks.(0) ()
   else begin
     ensure_workers (n - 1);
+    let record = Obs.Config.on () in
+    let t0 = if record then Obs.Clock.now_ns () else 0L in
+    let starts = if record then Array.make n 0L else [||] in
+    let stops = if record then Array.make n 0L else [||] in
+    let doms = if record then Array.make n 0 else [||] in
+    let timed i f () =
+      if record then begin
+        starts.(i) <- Obs.Clock.now_ns ();
+        doms.(i) <- (Domain.self () :> int)
+      end;
+      f ();
+      if record then stops.(i) <- Obs.Clock.now_ns ()
+    in
     let failures = Array.make n None in
     let remaining = Atomic.make (n - 1) in
     let done_lock = Mutex.create () in
@@ -102,16 +189,17 @@ let run_chunks (thunks : (unit -> unit) array) =
     in
     Mutex.lock pool.lock;
     for i = 1 to n - 1 do
-      Queue.push (guarded i thunks.(i)) pool.jobs
+      Queue.push (guarded i (timed i thunks.(i))) pool.jobs
     done;
     Condition.broadcast pool.work_available;
     Mutex.unlock pool.lock;
-    (try thunks.(0) () with e -> failures.(0) <- Some e);
+    (try timed 0 thunks.(0) () with e -> failures.(0) <- Some e);
     Mutex.lock done_lock;
     while Atomic.get remaining > 0 do
       Condition.wait all_done done_lock
     done;
     Mutex.unlock done_lock;
+    if record then record_region ~t0 ~starts ~stops ~doms n;
     Array.iter (function Some e -> raise e | None -> ()) failures
   end
 
@@ -145,7 +233,8 @@ let map_array ?min_chunk f a =
   let d = degree ?min_chunk (Array.length a) in
   if d <= 1 then Array.map f a
   else
-    Array.concat (Array.to_list (map_chunks ?min_chunk (Array.map f) a))
+    let parts = map_chunks ?min_chunk (Array.map f) a in
+    timed_merge (fun () -> Array.concat (Array.to_list parts))
 
 let map_list ?min_chunk f l =
   let d = degree ?min_chunk (List.length l) in
@@ -157,21 +246,23 @@ let concat_map_list ?min_chunk f l =
   let d = degree ?min_chunk (List.length l) in
   if d <= 1 then List.concat_map f l
   else
-    List.concat
-      (Array.to_list
-         (map_chunks ?min_chunk
-            (fun chunk -> List.concat_map f (Array.to_list chunk))
-            (Array.of_list l)))
+    let parts =
+      map_chunks ?min_chunk
+        (fun chunk -> List.concat_map f (Array.to_list chunk))
+        (Array.of_list l)
+    in
+    timed_merge (fun () -> List.concat (Array.to_list parts))
 
 let filter_list ?min_chunk p l =
   let d = degree ?min_chunk (List.length l) in
   if d <= 1 then List.filter p l
   else
-    List.concat
-      (Array.to_list
-         (map_chunks ?min_chunk
-            (fun chunk -> List.filter p (Array.to_list chunk))
-            (Array.of_list l)))
+    let parts =
+      map_chunks ?min_chunk
+        (fun chunk -> List.filter p (Array.to_list chunk))
+        (Array.of_list l)
+    in
+    timed_merge (fun () -> List.concat (Array.to_list parts))
 
 let map_reduce ?min_chunk ~map ~merge ~init a =
   let parts =

@@ -188,3 +188,25 @@ let render r =
   Printf.sprintf "%stotal: %.3f ms, %d rows\n" (render_node r.root)
     (Obs.Clock.to_ms r.total_ns)
     (Table.cardinality r.table)
+
+let rec node_to_json n =
+  Obs.Json.Obj
+    [
+      "op", Obs.Json.Str n.op;
+      "rows_in", Obs.Json.Int n.rows_in;
+      "rows_out", Obs.Json.Int n.rows_out;
+      "bytes_out", Obs.Json.Int n.bytes_out;
+      "materialized", Obs.Json.Bool n.materialized;
+      "dict_hit", Obs.Json.Float n.dict_hit;
+      "elapsed_ns", Obs.Json.Float (Int64.to_float n.elapsed_ns);
+      "children", Obs.Json.List (List.map node_to_json n.children);
+    ]
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      "rows", Obs.Json.Int (Table.cardinality r.table);
+      "total_ns", Obs.Json.Float (Int64.to_float r.total_ns);
+      "physical", Obs.Json.Str (Physical.explain r.physical);
+      "plan", node_to_json r.root;
+    ]

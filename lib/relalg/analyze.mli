@@ -43,3 +43,10 @@ val render_node : node -> string
 
 val render : result -> string
 (** {!render_node} plus a total line. *)
+
+val node_to_json : node -> Obs.Json.t
+
+val to_json : result -> Obs.Json.t
+(** Machine-readable form of {!render} ([explain --analyze --json]):
+    total time, result cardinality, the physical plan as text, and the
+    measured operator tree as nested objects. *)

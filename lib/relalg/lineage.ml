@@ -1,0 +1,65 @@
+type contrib = { source : int; row : int }
+type row = contrib array
+
+let flag = Atomic.make false
+let tracking () = Atomic.get flag
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false
+
+let with_tracking f =
+  let prev = tracking () in
+  Atomic.set flag true;
+  Fun.protect ~finally:(fun () -> Atomic.set flag prev) f
+
+type source = {
+  id : int;
+  name : string;
+  columns : string list;
+  get : int -> Value.t array;
+}
+
+(* Registration happens on operator entry, which parallel kernels may
+   reach from worker domains; the registry is tiny (one entry per base
+   table consumed while tracking), so a single mutex is plenty. *)
+let lock = Mutex.create ()
+let sources : (int, source) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register ~id ~name ~columns ~get =
+  locked @@ fun () ->
+  if not (Hashtbl.mem sources id) then
+    Hashtbl.add sources id { id; name; columns; get }
+
+let source id = locked (fun () -> Hashtbl.find_opt sources id)
+
+let source_name id =
+  match source id with Some s -> s.name | None -> Printf.sprintf "#%d" id
+
+let clear () = locked (fun () -> Hashtbl.reset sources)
+
+let base id i = [| { source = id; row = i } |]
+
+let merge a b =
+  if Array.length a = 0 then b
+  else if Array.length b = 0 then a
+  else begin
+    let fresh =
+      Array.to_list b
+      |> List.filter (fun c -> not (Array.exists (( = ) c) a))
+    in
+    if fresh = [] then a else Array.append a (Array.of_list fresh)
+  end
+
+let pp fmt (r : row) =
+  if Array.length r = 0 then Format.pp_print_string fmt "<unknown>"
+  else
+    Array.iteri
+      (fun k c ->
+        if k > 0 then Format.pp_print_string fmt " + ";
+        Format.fprintf fmt "%s[%d]" (source_name c.source) c.row)
+      r
+
+let to_string r = Format.asprintf "%a" pp r

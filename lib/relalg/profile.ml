@@ -73,6 +73,39 @@ let profile tbl =
 let column_sparsity p c =
   if p.rows = 0 then 0. else float_of_int c.nulls /. float_of_int p.rows
 
+let to_json p =
+  Obs.Json.Obj
+    [
+      "table", Obs.Json.Str p.table;
+      "rows", Obs.Json.Int p.rows;
+      "columns", Obs.Json.Int p.columns;
+      "null_cells", Obs.Json.Int p.null_cells;
+      "total_cells", Obs.Json.Int p.total_cells;
+      "sparsity", Obs.Json.Float (sparsity p);
+      "storage_bytes", Obs.Json.Int p.storage_bytes;
+      "dict_hit_rate", Obs.Json.Float p.dict_hit_rate;
+      ( "per_column",
+        Obs.Json.List
+          (List.map
+             (fun c ->
+               Obs.Json.Obj
+                 ([
+                    "column", Obs.Json.Str c.column;
+                    "distinct", Obs.Json.Int c.distinct;
+                    "nulls", Obs.Json.Int c.nulls;
+                    "dict_entries", Obs.Json.Int c.dict_entries;
+                  ]
+                 @
+                 match c.most_common with
+                 | None -> []
+                 | Some (v, n) ->
+                     [
+                       "mode", Obs.Json.Str (Value.to_string v);
+                       "mode_count", Obs.Json.Int n;
+                     ]))
+             p.per_column) );
+    ]
+
 let to_string p =
   let buf = Buffer.create 512 in
   Printf.ksprintf (Buffer.add_string buf)

@@ -38,3 +38,7 @@ val profile : Table.t -> t
 val to_string : t -> string
 (** An aligned per-column summary with per-column sparsity and the share
     of rows covered by the most common value. *)
+
+val to_json : t -> Obs.Json.t
+(** The same numbers machine-readable ([stats --json]); per-column
+    objects carry [mode]/[mode_count] only when a mode exists. *)

@@ -68,6 +68,44 @@ let search_space s =
    extends with one output column at a time. *)
 let ordered_columns s = inputs s @ outputs s
 
+(* Provenance of a generated table: every cell is literally one element
+   of its column table (the domain), so under lineage tracking each row
+   points at the domain entries that were composed into it.  The column
+   tables are materialized as 1-column base tables named
+   "<table>.<column>" and registered as lineage sources.  Reconstructed
+   after generation so the row-extension hot path stays untouched when
+   tracking is off. *)
+let attach_domain_lineage s table =
+  if not (Lineage.tracking ()) then table
+  else begin
+    let sources =
+      List.map
+        (fun c ->
+          let ct =
+            Table.of_rows
+              ~name:(s.sname ^ "." ^ c.cname)
+              (Schema.of_list [ c.cname ])
+              (List.map (fun v -> [| v |]) c.domain)
+          in
+          Lineage.register ~id:(Table.id ct) ~name:(Table.name ct)
+            ~columns:[ c.cname ] ~get:(Table.get ct);
+          let index = Hashtbl.create 16 in
+          List.iteri (fun i v -> Hashtbl.replace index v i) c.domain;
+          (Table.id ct, index))
+        (ordered_columns s)
+    in
+    let srcs = Array.of_list sources in
+    let lin =
+      Array.init (Table.cardinality table) (fun i ->
+          Array.mapi
+            (fun j cell ->
+              let cid, index = srcs.(j) in
+              { Lineage.source = cid; row = Hashtbl.find index cell })
+            (Table.get table i))
+    in
+    Table.with_lineage table lin
+  end
+
 let generate ?funcs s =
   Obs.Trace.with_span ~cat:"solver"
     ~args:[ "table", Obs.Json.Str s.sname ]
@@ -156,7 +194,7 @@ let generate ?funcs s =
   Obs.Metrics.add (obs_counter "candidates") !candidates;
   Obs.Metrics.add (obs_counter "evaluations") !evaluations;
   Obs.Metrics.add (obs_counter "rows_generated") (List.length rows);
-  let table = Table.of_rows ~name:s.sname schema rows in
+  let table = attach_domain_lineage s (Table.of_rows ~name:s.sname schema rows) in
   Obs.Metrics.add (obs_counter "storage_bytes") (Table.storage_bytes table);
   ( table,
     {
@@ -219,7 +257,7 @@ let generate_monolithic ?funcs s =
   let evaluations =
     ref (Array.fold_left (fun acc (_, _, e) -> acc + e) 0 parts)
   in
-  ( Table.of_rows ~name:s.sname schema rows,
+  ( attach_domain_lineage s (Table.of_rows ~name:s.sname schema rows),
     {
       candidates = !candidates;
       evaluations = !evaluations;

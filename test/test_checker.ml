@@ -88,6 +88,7 @@ let test_composition_modes () =
           output = { msg = om; src = osrc; dst = odst; vc = ovc };
         };
       provenance = Dependency.Direct "T";
+      origin = [ ("T", 0) ];
     }
   in
   (* the paper's R1 (memory) and R2 (directory) *)
