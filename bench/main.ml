@@ -369,7 +369,16 @@ let write_json ~domains measurements =
   output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %d measurements to %s\n" (List.length measurements)
-    file
+    file;
+  if Obs.Runlog.configured () then
+    Obs.Runlog.note "bench"
+      (Obs.Json.Obj
+         [
+           "snapshot", Obs.Json.Str file;
+           "measurements", Obs.Json.Int (List.length measurements);
+           "pairs", Obs.Json.Int (List.length pairs);
+           "regressions", Obs.Json.Int (List.length regressions);
+         ])
 
 let parse_domains () =
   let argv = Sys.argv in
@@ -385,9 +394,37 @@ let parse_domains () =
     argv;
   !domains
 
+(* --manifest [DIR]: persist an asura-run/1 manifest of this bench
+   invocation (same flag the CLI takes; DIR defaults to "runs"). *)
+let parse_manifest () =
+  let argv = Sys.argv in
+  let dir = ref None in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--manifest" then
+        if
+          i + 1 < Array.length argv
+          && String.length argv.(i + 1) > 0
+          && argv.(i + 1).[0] <> '-'
+        then dir := Some argv.(i + 1)
+        else dir := Some "runs")
+    argv;
+  !dir
+
 let () =
   let json = Array.exists (( = ) "--json") Sys.argv in
   let domains = parse_domains () in
+  (match parse_manifest () with
+  | None -> ()
+  | Some dir ->
+      Obs.Config.enable ();
+      Obs.Coverage.enable ();
+      Obs.Runlog.configure ~dir ~cmd:"bench" ~argv:Sys.argv;
+      Obs.Runlog.note "domains" (Obs.Json.Int domains);
+      at_exit (fun () ->
+          match Obs.Runlog.write () with
+          | Some path -> Printf.eprintf "wrote run manifest to %s\n" path
+          | None -> ()));
   Printf.printf "ASURA coherence-protocol design toolchain: benchmark suite\n";
   if json then begin
     (* machine-readable mode: micro-benchmarks only, plus the snapshot;

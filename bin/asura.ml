@@ -12,15 +12,46 @@ open Cmdliner
 
 (* Every subcommand takes the same setup term: -v/-q (Logs verbosity),
    --trace FILE (Chrome trace-event export), --stats (span/metric
-   summary on stderr) and --domains N (parallelism degree).  Tracing
-   output is finalized in an at_exit hook so commands that exit 1 on a
-   failed verdict still write their trace. *)
+   summary on stderr), --domains N (parallelism degree), --progress
+   (live heartbeat), --manifest [DIR] (persistent run manifest) and
+   --log-file PATH (redirect logs + heartbeats).  Tracing and manifest
+   output are finalized in at_exit hooks so commands that exit 1 on a
+   failed verdict still write them. *)
 
-let obs_setup level trace_file stats domains =
+let obs_setup level trace_file stats domains log_file progress manifest =
   Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
+  (match log_file with
+  | None -> Logs.set_reporter (Logs_fmt.reporter ())
+  | Some path ->
+      (* Logs and Runlog heartbeats both go to the file; stdout stays
+         untouched for machine-parseable command output. *)
+      let oc = open_out path in
+      at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+      Obs.Runlog.set_sink oc;
+      let fmt = Format.formatter_of_out_channel oc in
+      Logs.set_reporter (Logs.format_reporter ~app:fmt ~dst:fmt ()));
   Logs.set_level level;
   Option.iter Par.Pool.set_domains domains;
+  if progress then begin
+    Obs.Coverage.enable ();
+    Obs.Runlog.enable_progress ()
+  end;
+  (match manifest with
+  | None -> ()
+  | Some dir ->
+      (* Manifests embed the coverage summary and a metrics snapshot, so
+         arm both collectors. *)
+      Obs.Coverage.enable ();
+      Obs.Config.enable ();
+      let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "run" in
+      Obs.Runlog.configure ~dir ~cmd ~argv:Sys.argv;
+      Obs.Runlog.note "domains" (Obs.Json.Int (Par.Pool.domains ()));
+      at_exit (fun () ->
+          match Obs.Runlog.write () with
+          | Some path ->
+              Printf.fprintf (Obs.Runlog.sink ()) "wrote run manifest to %s\n%!"
+                path
+          | None -> ()));
   if trace_file <> None || stats then begin
     Obs.Config.enable ();
     at_exit (fun () ->
@@ -70,7 +101,40 @@ let setup_term =
              across.  1 (the default) runs the original sequential code \
              paths; results are identical at every setting.")
   in
-  Term.(const obs_setup $ Logs_cli.level () $ trace_file $ stats $ domains)
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-file" ] ~docv:"PATH"
+          ~doc:
+            "Redirect log output and $(b,--progress) heartbeats to this \
+             file instead of standard error, keeping standard output \
+             machine-parseable.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Print a live heartbeat (states explored, frontier size, \
+             states/sec, transition coverage, ETA) to standard error \
+             while long-running commands work.  Also enables transition \
+             coverage collection.")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt ~vopt:(Some "runs") (some string) None
+      & info [ "manifest" ] ~docv:"DIR"
+          ~doc:
+            "Write a persistent run manifest (schema asura-run/1: argv, \
+             git revision, wall time, transition coverage, metrics \
+             snapshot) into $(docv) on exit (default $(b,runs)).  \
+             Aggregate manifests later with $(b,asura report).")
+  in
+  Term.(
+    const obs_setup $ Logs_cli.level () $ trace_file $ stats $ domains
+    $ log_file $ progress $ manifest)
 
 let list_tables () =
   List.iter
@@ -546,9 +610,9 @@ let stats_cmd =
           per-column dictionary sizes.")
     Term.(const run $ setup_term $ table $ json)
 
-(* ------------------------------ report ------------------------------- *)
+(* ------------------------------ review ------------------------------- *)
 
-let report_cmd =
+let review_cmd =
   let full =
     Arg.(
       value & flag
@@ -575,10 +639,146 @@ let report_cmd =
     print_string (Sim.Walkthrough.to_markdown (Sim.Walkthrough.all ()))
   in
   Cmd.v
-    (Cmd.info "report"
+    (Cmd.info "review"
        ~doc:
          "Emit the enhanced-architecture-specification review document           (Markdown): tables, channel assignment, deadlock verdict,           invariants.")
     Term.(const run $ setup_term $ full $ assignment)
+
+(* ------------------------------ report ------------------------------- *)
+
+(* Decode an uncovered row back to a readable transition by regenerating
+   the controller table; refuse when the regenerated table's shape does
+   not match what the manifest recorded (different protocol version). *)
+let decode_row ~table ~rows ~row =
+  match Protocol.find table with
+  | None -> None
+  | Some c ->
+      let spec = c.Protocol.spec in
+      let t = Protocol.Ctrl_spec.table spec in
+      if Relalg.Table.cardinality t = rows && row >= 0 && row < rows then
+        Some (Protocol.Ctrl_spec.describe_row spec row)
+      else None
+
+let report_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Run manifests (asura-run/1), bench snapshots (asura-bench/*), \
+             table profiles (asura-stats/1) or EXPLAIN ANALYZE output \
+             (asura-explain/1).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the aggregate as a JSON object (schema asura-report/1).")
+  in
+  let html =
+    Arg.(value & flag & info [ "html" ] ~doc:"Render HTML instead of Markdown.")
+  in
+  let min_coverage =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-coverage" ] ~docv:"PCT"
+          ~doc:
+            "Exit 1 if overall transition coverage across all manifests \
+             is below $(docv) percent.")
+  in
+  let min_table =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string float) []
+      & info [ "min-table" ] ~docv:"TABLE=PCT"
+          ~doc:
+            "Exit 1 if coverage of one controller table is below $(docv) \
+             percent (or the table appears in no manifest).  Repeatable.")
+  in
+  let max_uncovered =
+    Arg.(
+      value & opt int 10
+      & info [ "max-uncovered" ] ~docv:"N"
+          ~doc:"Cap the decoded uncovered-transition listing per table.")
+  in
+  let run () files json_flag html max_uncovered min_coverage min_table =
+    let docs =
+      List.map
+        (fun f ->
+          let read () =
+            let ic = open_in_bin f in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Obs.Json.parse (read ()) with
+          | Ok j -> (Filename.basename f, j)
+          | Error msg ->
+              Printf.eprintf "%s: %s\n" f msg;
+              exit 2)
+        files
+    in
+    match Obs.Runreport.collect docs with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok agg ->
+        let decode = decode_row in
+        if json_flag then
+          print_endline (Obs.Json.to_string (Obs.Runreport.to_json ~decode agg))
+        else if html then
+          print_string (Obs.Runreport.render_html ~decode ~max_uncovered agg)
+        else
+          print_string (Obs.Runreport.render_markdown ~decode ~max_uncovered agg);
+        let failed = ref false in
+        (match min_coverage with
+        | None -> ()
+        | Some threshold ->
+            let overall = Obs.Runreport.overall_percent agg in
+            if overall < threshold then begin
+              Printf.eprintf
+                "coverage gate: overall %.1f%% is below the required %.1f%%\n"
+                overall threshold;
+              failed := true
+            end);
+        let per_table = Obs.Runreport.coverage agg in
+        List.iter
+          (fun (name, threshold) ->
+            match
+              List.find_opt
+                (fun (tc : Obs.Coverage.table_coverage) -> tc.name = name)
+                per_table
+            with
+            | None ->
+                Printf.eprintf
+                  "coverage gate: table %s appears in no manifest\n" name;
+                failed := true
+            | Some tc ->
+                let pct =
+                  Obs.Coverage.percent ~covered:tc.covered ~rows:tc.rows
+                in
+                if pct < threshold then begin
+                  Printf.eprintf
+                    "coverage gate: table %s at %.1f%% is below the \
+                     required %.1f%%\n"
+                    name pct threshold;
+                  failed := true
+                end)
+          min_table;
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate run manifests and bench snapshots into a coverage \
+          report: per-controller transition coverage, uncovered rows \
+          decoded back to readable transitions, the invariant hit \
+          matrix, and seq-vs-par bench regressions.")
+    Term.(
+      const run $ setup_term $ files $ json $ html $ max_uncovered
+      $ min_coverage $ min_table)
 
 (* ------------------------------ explain ------------------------------ *)
 
@@ -657,6 +857,6 @@ let () =
           (Cmd.info "asura" ~version:"1.0.0" ~doc)
           [
             generate_cmd; invariants_cmd; deadlock_cmd; why_cmd; map_cmd;
-            simulate_cmd; mcheck_cmd; sql_cmd; report_cmd; explain_cmd;
-            export_cmd; stats_cmd;
+            simulate_cmd; mcheck_cmd; sql_cmd; review_cmd; report_cmd;
+            explain_cmd; export_cmd; stats_cmd;
           ]))

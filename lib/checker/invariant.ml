@@ -454,13 +454,31 @@ let all =
 
 let find id = List.find_opt (fun i -> i.id = id) all
 
+let obs_reg = lazy (Obs.Metrics.registry "checker")
+
+(* Per-invariant checked/violated counters feed the invariant hit
+   matrix of `asura report` via the manifest metrics snapshot; the two
+   aggregates give the one-line totals. *)
+let record_result inv ~passed ~nviolations =
+  let reg = Lazy.force obs_reg in
+  Obs.Metrics.incr (Obs.Metrics.counter reg ("inv." ^ inv.id ^ ".checked"));
+  Obs.Metrics.incr (Obs.Metrics.counter reg "invariants_checked");
+  if not passed then begin
+    Obs.Metrics.add
+      (Obs.Metrics.counter reg ("inv." ^ inv.id ^ ".violated"))
+      nviolations;
+    Obs.Metrics.incr (Obs.Metrics.counter reg "invariants_violated")
+  end
+
 let run db inv =
   let violations =
     match inv.check with
     | Sql q -> Sql_exec.query db q
     | Native f -> f db
   in
-  { invariant = inv; passed = Table.is_empty violations; violations }
+  let passed = Table.is_empty violations in
+  record_result inv ~passed ~nviolations:(Table.cardinality violations);
+  { invariant = inv; passed; violations }
 
 let run_all ?invariants db =
   List.map (run db) (Option.value invariants ~default:all)

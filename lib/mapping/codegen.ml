@@ -1,6 +1,7 @@
 open Relalg
 
 type rule = {
+  row : int;  (* index of the generating row in the source table *)
   guard : (string * string) list;
   action : (string * string) list;
 }
@@ -46,7 +47,7 @@ let rules_of_table ~inputs ~outputs t =
   in
   let rules =
     List.init (Table.cardinality t) (fun i ->
-        { guard = cells_at rin i; action = cells_at rout i })
+        { row = i; guard = cells_at rin i; action = cells_at rout i })
   in
   (* Most-specific-first so dont-care rows cannot shadow constrained
      ones; stable within equal specificity to keep table order. *)
@@ -54,7 +55,7 @@ let rules_of_table ~inputs ~outputs t =
     (fun a b -> compare (List.length b.guard) (List.length a.guard))
     rules
 
-let eval_rules rules binding =
+let eval_rule rules binding =
   let matches r =
     List.for_all
       (fun (c, want) ->
@@ -63,7 +64,10 @@ let eval_rules rules binding =
         | None -> false)
       r.guard
   in
-  Option.map (fun r -> r.action) (List.find_opt matches rules)
+  List.find_opt matches rules
+
+let eval_rules rules binding =
+  Option.map (fun r -> r.action) (eval_rule rules binding)
 
 let agrees_with_table ~inputs ~outputs t =
   let rules = rules_of_table ~inputs ~outputs t in

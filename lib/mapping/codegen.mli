@@ -12,6 +12,10 @@
     logic computes exactly the table (experiment E8). *)
 
 type rule = {
+  row : int;
+      (** index of the generating row in the source table — survives the
+          specificity sort, so a fired rule can be traced back to (and
+          coverage charged against) its table row *)
   guard : (string * string) list;  (** input column = value conjuncts *)
   action : (string * string) list;  (** output column := value *)
 }
@@ -19,10 +23,14 @@ type rule = {
 val rules_of_table :
   inputs:string list -> outputs:string list -> Relalg.Table.t -> rule list
 
+val eval_rule : rule list -> (string * string) list -> rule option
+(** First-match-wins evaluation over a concrete input binding (absent
+    columns behave as NULL); the whole matched rule, so callers can see
+    which table row fired.  [None] if no rule fires. *)
+
 val eval_rules :
   rule list -> (string * string) list -> (string * string) list option
-(** First-match-wins evaluation over a concrete input binding (absent
-    columns behave as NULL).  [None] if no rule fires. *)
+(** [eval_rule] projected to the action. *)
 
 val agrees_with_table :
   inputs:string list -> outputs:string list -> Relalg.Table.t -> bool

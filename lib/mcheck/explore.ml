@@ -91,6 +91,31 @@ let expand_state sr ~frontier ~depth =
   Obs.Metrics.observe sr.depth_histogram (float_of_int depth);
   if depth > sr.s_max_depth then sr.s_max_depth <- depth
 
+(* The --progress heartbeat.  Only ever called from the spawning domain
+   (the sequential loop and the parallel merge loop, after the level's
+   workers have joined), so snapshotting coverage shards is safe and
+   worker determinism is untouched.  [Runlog.tick] rate-limits to the
+   configured interval; when --progress is off this is one match. *)
+let heartbeat sr ~max_states ~frontier =
+  Obs.Runlog.tick (fun () ->
+      let elapsed = Sys.time () -. sr.t0 in
+      let rate =
+        if elapsed <= 0. then 0. else float_of_int sr.s_explored /. elapsed
+      in
+      let covered, rows = Obs.Coverage.totals (Obs.Coverage.snapshot ()) in
+      let eta =
+        if rate <= 0. then "?"
+        else
+          Printf.sprintf "%.0fs"
+            (float_of_int (max 0 (max_states - sr.s_explored)) /. rate)
+      in
+      Printf.sprintf
+        "[mcheck] explored=%d frontier=%d depth=%d states/s=%.0f \
+         coverage=%.1f%% eta<=%s"
+        sr.s_explored frontier sr.s_max_depth rate
+        (Obs.Coverage.percent ~covered ~rows)
+        eta)
+
 let finish sr ~states violation complete =
   let elapsed = Sys.time () -. sr.t0 in
   let reg = Lazy.force obs_reg in
@@ -103,6 +128,26 @@ let finish sr ~states violation complete =
   Obs.Metrics.set
     (Obs.Metrics.gauge reg "max_frontier")
     (float_of_int sr.s_max_frontier);
+  if Obs.Runlog.configured () then
+    Obs.Runlog.note "mcheck"
+      (Obs.Json.Obj
+         [
+           ("explored", Obs.Json.Int sr.s_explored);
+           ("transitions", Obs.Json.Int sr.s_transitions);
+           ("max_depth", Obs.Json.Int sr.s_max_depth);
+           ("elapsed_s", Obs.Json.Float elapsed);
+           ( "states_per_sec",
+             Obs.Json.Float
+               (if elapsed <= 0. then 0.
+                else float_of_int sr.s_explored /. elapsed) );
+           ("max_frontier", Obs.Json.Int sr.s_max_frontier);
+           ("dedup_hits", Obs.Json.Int sr.s_dedup_hits);
+           ("complete", Obs.Json.Bool complete);
+           ( "violation",
+             match violation with
+             | None -> Obs.Json.Null
+             | Some v -> Obs.Json.Str v.detail );
+         ]);
   {
     explored = sr.s_explored;
     transitions = sr.s_transitions;
@@ -152,6 +197,7 @@ let run_seq ~max_states ~keep_states ~state_key ~tables config =
       let frontier = Queue.length queue in
       let st, key, depth = Queue.take queue in
       expand_state sr ~frontier ~depth;
+      heartbeat sr ~max_states ~frontier;
       (match Semantics.state_violations config st with
       | [] -> ()
       | detail :: _ ->
@@ -250,6 +296,7 @@ let run_par ~max_states ~keep_states ~state_key ~tables config =
           if sr.s_explored >= max_states then raise Exit;
           let frontier_len = Array.length level - i + !next_count in
           expand_state sr ~frontier:frontier_len ~depth:!depth;
+          heartbeat sr ~max_states ~frontier:frontier_len;
           (match violations with
           | [] -> ()
           | detail :: _ ->

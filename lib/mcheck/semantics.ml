@@ -1,17 +1,29 @@
 open Mstate
 
+(* A compiled rule list plus the runtime Table.id of the table it came
+   from, so every fired rule can be charged to its source row in the
+   transition-coverage bitmaps. *)
+type ruleset = { rules : Mapping.Codegen.rule list; cov : int }
+
 type tables = {
-  d_rules : Mapping.Codegen.rule list;
-  c_rules : Mapping.Codegen.rule list;
-  n_rules : Mapping.Codegen.rule list;
-  pif_rules : Mapping.Codegen.rule list;
-  m_rules : Mapping.Codegen.rule list;
-  io_rules : Mapping.Codegen.rule list;
+  d_rules : ruleset;
+  c_rules : ruleset;
+  n_rules : ruleset;
+  pif_rules : ruleset;
+  m_rules : ruleset;
+  io_rules : ruleset;
 }
+
+let ruleset_of_table ~inputs ~outputs t =
+  let rules = Mapping.Codegen.rules_of_table ~inputs ~outputs t in
+  Obs.Coverage.register ~id:(Relalg.Table.id t)
+    ~name:(Relalg.Table.name t)
+    ~rows:(Relalg.Table.cardinality t);
+  { rules; cov = Relalg.Table.id t }
 
 let rules_of (c : Protocol.controller) =
   let spec = c.Protocol.spec in
-  Mapping.Codegen.rules_of_table
+  ruleset_of_table
     ~inputs:(Protocol.Ctrl_spec.input_columns spec)
     ~outputs:(Protocol.Ctrl_spec.output_columns spec)
     (Protocol.Ctrl_spec.table spec)
@@ -21,7 +33,7 @@ let load_tables_with ?dir () =
     match dir with
     | None -> rules_of Protocol.directory
     | Some spec ->
-        Mapping.Codegen.rules_of_table
+        ruleset_of_table
           ~inputs:(Protocol.Ctrl_spec.input_columns spec)
           ~outputs:(Protocol.Ctrl_spec.output_columns spec)
           (fst (Protocol.Ctrl_spec.generate spec))
@@ -37,7 +49,7 @@ let load_tables_with ?dir () =
 
 let load_tables () = load_tables_with ()
 
-let directory_rules t = t.d_rules
+let directory_rules t = t.d_rules.rules
 
 type config = {
   nodes : int;
@@ -49,7 +61,15 @@ type config = {
 }
 type outcome = Next of Mstate.t | Broken of string
 
-let eval rules binding = Mapping.Codegen.eval_rules rules binding
+(* The single choke point where controller-table rows fire: record the
+   matched row in the coverage bitmap (a no-op branch when coverage is
+   off — safe from parallel workers, see Obs.Coverage). *)
+let eval rs binding =
+  match Mapping.Codegen.eval_rule rs.rules binding with
+  | None -> None
+  | Some r ->
+      Obs.Coverage.record ~id:rs.cov ~row:r.Mapping.Codegen.row;
+      Some r.Mapping.Codegen.action
 let bit n = 1 lsl n
 let data_bearing m =
   List.mem m

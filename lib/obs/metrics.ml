@@ -116,13 +116,17 @@ let exponential_bounds ?(start = 1.) ?(factor = 2.) count =
 
 let default_bounds = exponential_bounds ~start:1. ~factor:4. 10
 
+(* Lookup-or-create: a second registration under the same name returns
+   the existing histogram untouched — bounds (including malformed ones)
+   are only validated when the handle is actually created, so multiple
+   runs in one process can re-request their instruments freely. *)
 let histogram ?(bounds = default_bounds) reg name =
-  Array.iteri
-    (fun i b ->
-      if i > 0 && b <= bounds.(i - 1) then
-        invalid_arg ("histogram " ^ name ^ ": bounds must be increasing"))
-    bounds;
   memo reg.histograms name (fun () ->
+      Array.iteri
+        (fun i b ->
+          if i > 0 && b <= bounds.(i - 1) then
+            invalid_arg ("histogram " ^ name ^ ": bounds must be increasing"))
+        bounds;
       {
         h_name = name;
         bounds;
@@ -236,3 +240,67 @@ let summary () =
   let buf = Buffer.create 1024 in
   List.iter (render_registry buf) (all_registries ());
   Buffer.contents buf
+
+(* The machine-readable snapshot embedded in run manifests.  Registries
+   and instruments are rendered in sorted order so two identical runs
+   produce byte-identical JSON. *)
+let to_json () =
+  let registry_json r =
+    let counters = sorted_values r.counters (fun c -> c.c_name) in
+    let gauges = sorted_values r.gauges (fun g -> g.g_name) in
+    let histograms = sorted_values r.histograms (fun h -> h.h_name) in
+    if counters = [] && gauges = [] && histograms = [] then None
+    else
+      let fields = [] in
+      let fields =
+        if histograms = [] then fields
+        else
+          ( "histograms",
+            Json.Obj
+              (List.map
+                 (fun h ->
+                   ( h.h_name,
+                     Json.Obj
+                       [
+                         ("n", Json.Int h.n);
+                         ("mean", Json.Float (mean h));
+                         ("p50", Json.Float (quantile h 0.5));
+                         ("p95", Json.Float (quantile h 0.95));
+                         ("p99", Json.Float (quantile h 0.99));
+                         ("max", Json.Float (if h.n = 0 then 0. else h.h_max));
+                       ] ))
+                 histograms) )
+          :: fields
+      in
+      let fields =
+        if gauges = [] then fields
+        else
+          ( "gauges",
+            Json.Obj
+              (List.map
+                 (fun g ->
+                   ( g.g_name,
+                     Json.Obj
+                       [
+                         ("value", Json.Float g.value);
+                         ("max", Json.Float (gauge_max g));
+                       ] ))
+                 gauges) )
+          :: fields
+      in
+      let fields =
+        if counters = [] then fields
+        else
+          ( "counters",
+            Json.Obj (List.map (fun c -> (c.c_name, Json.Int c.count)) counters)
+          )
+          :: fields
+      in
+      Some (r.r_name, Json.Obj fields)
+  in
+  let regs =
+    List.sort
+      (fun a b -> compare a.r_name b.r_name)
+      (all_registries ())
+  in
+  Json.Obj (List.filter_map registry_json regs)

@@ -43,7 +43,13 @@ val exponential_bounds : ?start:float -> ?factor:float -> int -> float array
 val histogram : ?bounds:float array -> registry -> string -> histogram
 (** [bounds] are strictly increasing upper bucket bounds; an implicit
     overflow bucket is appended.  Defaults to 10 powers of 4.
-    @raise Invalid_argument if [bounds] is not strictly increasing. *)
+
+    Lookup-or-create: re-requesting an existing name returns the
+    existing histogram with its original bounds — the [bounds] argument
+    (even a malformed one) is ignored then, so repeated runs in one
+    process never raise on re-registration.
+    @raise Invalid_argument if the handle is being created and [bounds]
+    is not strictly increasing. *)
 
 val observe : histogram -> float -> unit
 val observations : histogram -> int
@@ -64,3 +70,8 @@ val clear : unit -> unit
 
 val summary : unit -> string
 (** Aligned text rendering of every non-empty registry. *)
+
+val to_json : unit -> Json.t
+(** Machine-readable snapshot of every non-empty registry (sorted, so
+    identical runs render byte-identically); embedded under ["metrics"]
+    in [asura-run/1] manifests. *)

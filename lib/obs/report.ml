@@ -26,4 +26,6 @@ let render () =
 
 let reset () =
   Trace.reset ();
-  Metrics.clear ()
+  Metrics.clear ();
+  Coverage.reset ();
+  Runlog.reset ()

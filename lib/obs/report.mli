@@ -5,4 +5,5 @@ val render : unit -> string
     string when nothing was recorded. *)
 
 val reset : unit -> unit
-(** Clear the trace buffer and zero all metrics. *)
+(** Clear the trace buffer, zero all metrics and coverage bitmaps
+    (registrations survive), and disarm any pending run manifest. *)

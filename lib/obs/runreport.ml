@@ -1,0 +1,523 @@
+(* Cross-run aggregation behind `asura report`: classify input JSON
+   documents by their schema field, merge coverage bitmaps across run
+   manifests, extract the invariant hit matrix from metric snapshots,
+   and render the lot as markdown / HTML / JSON.
+
+   This lives in lib/obs (not bin/) so the aggregation logic is unit
+   testable; the one thing it cannot do from here is decode uncovered
+   row indices back to readable transitions — that needs the protocol
+   layer, so renderers accept a [decode] callback the CLI supplies. *)
+
+let schema_of doc = Option.bind (Json.member "schema" doc) Json.to_str
+
+type input =
+  | Run of Json.t  (** asura-run/1 manifest *)
+  | Bench of Json.t  (** asura-bench/\{1,2,3\} snapshot *)
+  | Stats of Json.t  (** asura-stats/1 *)
+  | Explain of Json.t  (** asura-explain/1 *)
+
+let classify doc =
+  match schema_of doc with
+  | Some "asura-run/1" -> Ok (Run doc)
+  | Some s when String.length s >= 12 && String.sub s 0 12 = "asura-bench/" ->
+      Ok (Bench doc)
+  | Some "asura-stats/1" -> Ok (Stats doc)
+  | Some "asura-explain/1" -> Ok (Explain doc)
+  | Some s -> Error (Printf.sprintf "unsupported schema %S" s)
+  | None -> Error "document has no \"schema\" field"
+
+type t = {
+  runs : (string * Json.t) list;
+  benches : (string * Json.t) list;
+  stats : (string * Json.t) list;
+  explains : (string * Json.t) list;
+}
+
+let collect labeled =
+  let rec go acc = function
+    | [] ->
+        Ok
+          {
+            runs = List.rev acc.runs;
+            benches = List.rev acc.benches;
+            stats = List.rev acc.stats;
+            explains = List.rev acc.explains;
+          }
+    | (label, doc) :: rest -> (
+        match classify doc with
+        | Error e -> Error (Printf.sprintf "%s: %s" label e)
+        | Ok (Run d) -> go { acc with runs = (label, d) :: acc.runs } rest
+        | Ok (Bench d) -> go { acc with benches = (label, d) :: acc.benches } rest
+        | Ok (Stats d) -> go { acc with stats = (label, d) :: acc.stats } rest
+        | Ok (Explain d) ->
+            go { acc with explains = (label, d) :: acc.explains } rest)
+  in
+  go { runs = []; benches = []; stats = []; explains = [] } labeled
+
+(* ------------------------- coverage aggregation ----------------------- *)
+
+(* Pull the per-table coverage entries out of one manifest. *)
+let manifest_tables doc =
+  match Option.bind (Json.member "coverage" doc) (Json.member "tables") with
+  | None -> []
+  | Some tables ->
+      List.filter_map
+        (fun entry ->
+          match
+            ( Option.bind (Json.member "table" entry) Json.to_str,
+              Option.bind (Json.member "rows" entry) Json.to_number,
+              Option.bind (Json.member "bitmap" entry) Json.to_str )
+          with
+          | Some name, Some rows, Some hex -> (
+              try Some (name, int_of_float rows, Coverage.of_hex hex)
+              with Invalid_argument _ -> None)
+          | _ -> None)
+        (Option.value ~default:[] (Json.to_list tables))
+
+(* OR together the bitmaps of every run manifest, merging tables that
+   agree on (name, rows); a table whose row count changed between runs
+   is kept as a separate entry rather than silently mis-merged. *)
+let coverage agg =
+  let merged : (string * int, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (_, doc) ->
+      List.iter
+        (fun (name, rows, bitmap) ->
+          let key = (name, rows) in
+          match Hashtbl.find_opt merged key with
+          | Some acc ->
+              let n = min (Bytes.length acc) (Bytes.length bitmap) in
+              for i = 0 to n - 1 do
+                Bytes.set acc i
+                  (Char.chr
+                     (Char.code (Bytes.get acc i)
+                     lor Char.code (Bytes.get bitmap i)))
+              done
+          | None ->
+              let acc = Bytes.make ((rows + 7) / 8) '\000' in
+              let n = min (Bytes.length acc) (Bytes.length bitmap) in
+              Bytes.blit bitmap 0 acc 0 n;
+              Hashtbl.add merged key acc;
+              order := key :: !order)
+        (manifest_tables doc))
+    agg.runs;
+  List.rev_map
+    (fun (name, rows) ->
+      let bitmap = Hashtbl.find merged (name, rows) in
+      let covered =
+        let n = ref 0 in
+        Bytes.iter
+          (fun c ->
+            let rec pop b acc = if b = 0 then acc else pop (b lsr 1) (acc + (b land 1)) in
+            n := !n + pop (Char.code c) 0)
+          bitmap;
+        !n
+      in
+      { Coverage.name; rows; covered; bitmap })
+    !order
+  |> List.sort (fun a b ->
+         compare (a.Coverage.name, a.Coverage.rows) (b.Coverage.name, b.Coverage.rows))
+
+let overall_percent agg =
+  let covered, rows = Coverage.totals (coverage agg) in
+  Coverage.percent ~covered ~rows
+
+(* ------------------------ invariant hit matrix ------------------------ *)
+
+(* Per-invariant checked/violated counters live in the "checker"
+   registry of each manifest's metrics snapshot as inv.<id>.checked /
+   inv.<id>.violated. *)
+let invariant_counts doc =
+  match
+    Option.bind
+      (Option.bind (Json.member "metrics" doc) (Json.member "checker"))
+      (Json.member "counters")
+  with
+  | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (key, v) ->
+          match (String.split_on_char '.' key, Json.to_number v) with
+          | [ "inv"; id; "checked" ], Some n ->
+              let _, viol = Option.value ~default:(0, 0) (List.assoc_opt id acc) in
+              (id, (int_of_float n, viol)) :: List.remove_assoc id acc
+          | [ "inv"; id; "violated" ], Some n ->
+              let c, _ = Option.value ~default:(0, 0) (List.assoc_opt id acc) in
+              (id, (c, int_of_float n)) :: List.remove_assoc id acc
+          | _ -> acc)
+        [] fields
+  | _ -> []
+
+let invariant_matrix agg =
+  let per_run = List.map (fun (label, doc) -> (label, invariant_counts doc)) agg.runs in
+  let ids =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, counts) -> List.map fst counts) per_run)
+  in
+  List.map
+    (fun id ->
+      ( id,
+        List.map
+          (fun (_, counts) ->
+            Option.value ~default:(0, 0) (List.assoc_opt id counts))
+          per_run ))
+    ids
+
+(* ------------------------------ bench diff ---------------------------- *)
+
+let bench_measurements doc =
+  match Json.member "benchmarks" doc with
+  | Some (Json.List entries) ->
+      List.filter_map
+        (fun e ->
+          match
+            ( Option.bind (Json.member "name" e) Json.to_str,
+              Option.bind (Json.member "ns_per_run" e) Json.to_number )
+          with
+          | Some n, Some ns -> Some (n, ns)
+          | _ -> None)
+        entries
+  | _ -> []
+
+let bench_pairs doc =
+  match Json.member "pairs" doc with
+  | Some (Json.List entries) ->
+      List.filter_map
+        (fun e ->
+          match
+            ( Option.bind (Json.member "name" e) Json.to_str,
+              Option.bind (Json.member "seq_ns" e) Json.to_number,
+              Option.bind (Json.member "par_ns" e) Json.to_number,
+              Option.bind (Json.member "speedup" e) Json.to_number )
+          with
+          | Some n, Some s, Some p, Some sp -> Some (n, s, p, sp)
+          | _ -> None)
+        entries
+  | _ -> []
+
+(* The same diff the CI baseline gate applies: per-benchmark new/old
+   ratio between the first snapshot (baseline) and the last, flagged
+   beyond the given threshold. *)
+let bench_diff ?(threshold = 3.0) agg =
+  match agg.benches with
+  | (_, first) :: (_ :: _ as rest) ->
+      let last = snd (List.nth rest (List.length rest - 1)) in
+      let old_ns = bench_measurements first in
+      let new_ns = bench_measurements last in
+      List.filter_map
+        (fun (name, o) ->
+          match List.assoc_opt name new_ns with
+          | Some n when o > 0. -> Some (name, o, n, n /. o, n /. o > threshold)
+          | _ -> None)
+        old_ns
+  | _ -> []
+
+(* ------------------------------ rendering ----------------------------- *)
+
+type decode = table:string -> rows:int -> row:int -> string option
+
+let run_summary_row doc =
+  let str k = Option.bind (Json.member k doc) Json.to_str in
+  let num k = Option.bind (Json.member k doc) Json.to_number in
+  ( Option.value ~default:"?" (str "cmd"),
+    Option.value ~default:"?" (str "date"),
+    Option.value ~default:"-" (str "git_rev"),
+    Option.value ~default:0. (num "elapsed_s") )
+
+let md_escape s =
+  String.concat "\\|" (String.split_on_char '|' s)
+
+let render_markdown ?(decode : decode option) ?(max_uncovered = 10) agg =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "# asura run report\n\n";
+  if agg.runs <> [] then begin
+    pr "## Runs\n\n";
+    pr "| manifest | cmd | date | git | elapsed |\n";
+    pr "|---|---|---|---|---|\n";
+    List.iter
+      (fun (label, doc) ->
+        let cmd, date, git, elapsed = run_summary_row doc in
+        pr "| %s | %s | %s | %s | %.2fs |\n" (md_escape label) cmd date git
+          elapsed)
+      agg.runs;
+    pr "\n";
+    let cov = coverage agg in
+    pr "## Transition coverage\n\n";
+    if cov = [] then pr "_No coverage recorded (runs without --manifest coverage)._\n\n"
+    else begin
+      pr "| controller table | rows | covered | coverage |\n";
+      pr "|---|---:|---:|---:|\n";
+      List.iter
+        (fun (tc : Coverage.table_coverage) ->
+          pr "| %s | %d | %d | %.1f%% |\n" tc.name tc.rows tc.covered
+            (Coverage.percent ~covered:tc.covered ~rows:tc.rows))
+        cov;
+      let covered, rows = Coverage.totals cov in
+      pr "| **total** | **%d** | **%d** | **%.1f%%** |\n\n" rows covered
+        (Coverage.percent ~covered ~rows);
+      let any_uncovered =
+        List.exists (fun tc -> tc.Coverage.covered < tc.Coverage.rows) cov
+      in
+      if any_uncovered then begin
+        pr "### Uncovered transitions\n\n";
+        List.iter
+          (fun (tc : Coverage.table_coverage) ->
+            let missing = Coverage.uncovered tc in
+            if missing <> [] then begin
+              pr "**%s** — %d of %d rows never fired:\n\n" tc.name
+                (List.length missing) tc.rows;
+              let shown, hidden =
+                if List.length missing <= max_uncovered then (missing, 0)
+                else
+                  ( List.filteri (fun i _ -> i < max_uncovered) missing,
+                    List.length missing - max_uncovered )
+              in
+              List.iter
+                (fun row ->
+                  match decode with
+                  | Some d -> (
+                      match d ~table:tc.name ~rows:tc.rows ~row with
+                      | Some desc -> pr "- row %d: %s\n" row desc
+                      | None -> pr "- row %d\n" row)
+                  | None -> pr "- row %d\n" row)
+                shown;
+              if hidden > 0 then pr "- … and %d more\n" hidden;
+              pr "\n"
+            end)
+          cov
+      end
+    end;
+    (match invariant_matrix agg with
+    | [] -> ()
+    | matrix ->
+        pr "## Invariant hit matrix\n\n";
+        pr "| invariant |%s\n"
+          (String.concat ""
+             (List.map
+                (fun (label, _) ->
+                  Printf.sprintf " %s |" (md_escape (Filename.basename label)))
+                agg.runs));
+        pr "|---|%s\n" (String.concat "" (List.map (fun _ -> "---|") agg.runs));
+        List.iter
+          (fun (id, cells) ->
+            pr "| %s |%s\n" id
+              (String.concat ""
+                 (List.map
+                    (fun (checked, violated) ->
+                      if violated > 0 then
+                        Printf.sprintf " %d ✗%d |" checked violated
+                      else Printf.sprintf " %d |" checked)
+                    cells)))
+          matrix;
+        pr "\n")
+  end;
+  List.iter
+    (fun (label, doc) ->
+      pr "## Benchmarks — %s\n\n" (md_escape label);
+      (match bench_pairs doc with
+      | [] -> ()
+      | pairs ->
+          pr "| benchmark | seq ms | par ms | speedup |\n";
+          pr "|---|---:|---:|---:|\n";
+          List.iter
+            (fun (name, seq_ns, par_ns, speedup) ->
+              pr "| %s | %.3f | %.3f | %.2fx%s |\n" name (seq_ns /. 1e6)
+                (par_ns /. 1e6) speedup
+                (if speedup < 1.0 then " ⚠ regression" else ""))
+            pairs;
+          pr "\n");
+      match bench_measurements doc with
+      | [] -> pr "_No measurements._\n\n"
+      | ms -> pr "%d measurements.\n\n" (List.length ms))
+    agg.benches;
+  (match bench_diff agg with
+  | [] -> ()
+  | diff ->
+      pr "## Baseline diff (first vs last bench snapshot)\n\n";
+      pr "| benchmark | baseline ms | latest ms | ratio |\n";
+      pr "|---|---:|---:|---:|\n";
+      List.iter
+        (fun (name, o, n, ratio, bad) ->
+          pr "| %s | %.3f | %.3f | %.2fx%s |\n" name (o /. 1e6) (n /. 1e6)
+            ratio
+            (if bad then " ⚠ slowdown" else ""))
+        diff;
+      pr "\n");
+  List.iter
+    (fun (label, _) -> pr "_Validated %s (asura-stats/1)._\n" (md_escape label))
+    agg.stats;
+  List.iter
+    (fun (label, _) ->
+      pr "_Validated %s (asura-explain/1)._\n" (md_escape label))
+    agg.explains;
+  Buffer.contents buf
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Minimal HTML: the markdown content is line-structured enough (ATX
+   headings, pipe tables, list items) to convert mechanically; anything
+   unrecognized becomes a paragraph. *)
+let render_html ?decode ?max_uncovered agg =
+  let md = render_markdown ?decode ?max_uncovered agg in
+  let buf = Buffer.create (String.length md * 2) in
+  Buffer.add_string buf
+    "<!doctype html>\n<html><head><meta charset=\"utf-8\"><title>asura run \
+     report</title>\n<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}td,th{border:1px \
+     solid #999;padding:4px 8px}</style></head><body>\n";
+  let in_table = ref false in
+  let in_list = ref false in
+  let close_blocks () =
+    if !in_table then (Buffer.add_string buf "</table>\n"; in_table := false);
+    if !in_list then (Buffer.add_string buf "</ul>\n"; in_list := false)
+  in
+  let cells line =
+    String.split_on_char '|' line
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  String.split_on_char '\n' md
+  |> List.iter (fun line ->
+         let t = String.trim line in
+         if t = "" then close_blocks ()
+         else if String.length t > 1 && t.[0] = '#' then begin
+           close_blocks ();
+           let level = if String.length t > 2 && t.[1] = '#' then
+               if String.length t > 3 && t.[2] = '#' then 3 else 2
+             else 1
+           in
+           let text = String.trim (String.sub t level (String.length t - level)) in
+           Buffer.add_string buf
+             (Printf.sprintf "<h%d>%s</h%d>\n" level (html_escape text) level)
+         end
+         else if String.length t > 1 && t.[0] = '|' then begin
+           if String.length t > 2 && t.[1] = '-' then ()  (* separator row *)
+           else begin
+             if not !in_table then begin
+               close_blocks ();
+               Buffer.add_string buf "<table>\n";
+               in_table := true
+             end;
+             Buffer.add_string buf "<tr>";
+             List.iter
+               (fun c ->
+                 Buffer.add_string buf
+                   (Printf.sprintf "<td>%s</td>" (html_escape c)))
+               (cells t);
+             Buffer.add_string buf "</tr>\n"
+           end
+         end
+         else if String.length t > 1 && t.[0] = '-' && t.[1] = ' ' then begin
+           if !in_table then (Buffer.add_string buf "</table>\n"; in_table := false);
+           if not !in_list then begin
+             Buffer.add_string buf "<ul>\n";
+             in_list := true
+           end;
+           Buffer.add_string buf
+             (Printf.sprintf "<li>%s</li>\n"
+                (html_escape (String.sub t 2 (String.length t - 2))))
+         end
+         else begin
+           close_blocks ();
+           Buffer.add_string buf (Printf.sprintf "<p>%s</p>\n" (html_escape t))
+         end);
+  close_blocks ();
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let to_json ?(decode : decode option) agg =
+  let cov = coverage agg in
+  let covered, rows = Coverage.totals cov in
+  Json.Obj
+    [
+      ("schema", Json.Str "asura-report/1");
+      ( "runs",
+        Json.List
+          (List.map
+             (fun (label, doc) ->
+               let cmd, date, git, elapsed = run_summary_row doc in
+               Json.Obj
+                 [
+                   ("file", Json.Str label);
+                   ("cmd", Json.Str cmd);
+                   ("date", Json.Str date);
+                   ("git_rev", Json.Str git);
+                   ("elapsed_s", Json.Float elapsed);
+                 ])
+             agg.runs) );
+      ( "coverage",
+        Json.Obj
+          [
+            ("covered", Json.Int covered);
+            ("rows", Json.Int rows);
+            ("percent", Json.Float (Coverage.percent ~covered ~rows));
+            ("tables", Json.List (List.map Coverage.table_to_json cov));
+          ] );
+      ( "uncovered",
+        Json.Obj
+          (List.filter_map
+             (fun (tc : Coverage.table_coverage) ->
+               match Coverage.uncovered tc with
+               | [] -> None
+               | missing ->
+                   Some
+                     ( tc.name,
+                       Json.List
+                         (List.map
+                            (fun row ->
+                              let desc =
+                                Option.join
+                                  (Option.map
+                                     (fun d ->
+                                       d ~table:tc.name ~rows:tc.rows ~row)
+                                     decode)
+                              in
+                              Json.Obj
+                                (("row", Json.Int row)
+                                :: (match desc with
+                                   | Some d -> [ ("transition", Json.Str d) ]
+                                   | None -> [])))
+                            missing) ))
+             cov) );
+      ( "invariants",
+        Json.List
+          (List.map
+             (fun (id, cells) ->
+               Json.Obj
+                 [
+                   ("id", Json.Str id);
+                   ( "runs",
+                     Json.List
+                       (List.map
+                          (fun (checked, violated) ->
+                            Json.Obj
+                              [
+                                ("checked", Json.Int checked);
+                                ("violated", Json.Int violated);
+                              ])
+                          cells) );
+                 ])
+             (invariant_matrix agg)) );
+      ( "bench_diff",
+        Json.List
+          (List.map
+             (fun (name, o, n, ratio, bad) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ("baseline_ns", Json.Float o);
+                   ("latest_ns", Json.Float n);
+                   ("ratio", Json.Float ratio);
+                   ("slowdown", Json.Bool bad);
+                 ])
+             (bench_diff agg)) );
+    ]

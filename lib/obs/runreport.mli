@@ -1,0 +1,56 @@
+(** Cross-run aggregation behind [asura report].
+
+    Inputs are JSON documents the toolchain emits elsewhere —
+    [asura-run/1] manifests, [asura-bench/*] snapshots, [asura-stats/1]
+    and [asura-explain/1] — classified by their ["schema"] field.
+    Coverage bitmaps from multiple runs are ORed per (table, rows);
+    decoding uncovered rows back to readable transitions needs the
+    protocol layer, so renderers take an optional [decode] callback
+    supplied by the CLI. *)
+
+type input = Run of Json.t | Bench of Json.t | Stats of Json.t | Explain of Json.t
+
+val classify : Json.t -> (input, string) result
+(** [Error] for a missing or unsupported ["schema"] field. *)
+
+type t = {
+  runs : (string * Json.t) list;  (** label (file name) × manifest *)
+  benches : (string * Json.t) list;
+  stats : (string * Json.t) list;
+  explains : (string * Json.t) list;
+}
+
+val collect : (string * Json.t) list -> (t, string) result
+(** Classify every labeled document; first failure wins. *)
+
+val coverage : t -> Coverage.table_coverage list
+(** Bitmaps ORed across all run manifests; tables whose row count
+    differs between runs stay separate entries. *)
+
+val overall_percent : t -> float
+(** 100 when no coverage was recorded at all. *)
+
+val invariant_matrix : t -> (string * (int * int) list) list
+(** Per invariant id, the (checked, violated) counts of each run, in
+    run order — extracted from the [inv.<id>.checked]/[.violated]
+    counters of the manifests' metric snapshots. *)
+
+val bench_diff : ?threshold:float -> t -> (string * float * float * float * bool) list
+(** First-vs-last bench snapshot: (name, baseline ns, latest ns, ratio,
+    ratio > threshold) per benchmark present in both — the same diff
+    the CI baseline gate applies ([threshold] defaults to 3x). *)
+
+type decode = table:string -> rows:int -> row:int -> string option
+(** Decode row [row] of table [table] to a readable transition; [rows]
+    is the row count the coverage bitmap was recorded against, so the
+    decoder can refuse when its regenerated table has a different
+    shape. *)
+
+val render_markdown : ?decode:decode -> ?max_uncovered:int -> t -> string
+(** [max_uncovered] caps the decoded uncovered-row listing per table
+    (default 10; the remainder is summarized). *)
+
+val render_html : ?decode:decode -> ?max_uncovered:int -> t -> string
+
+val to_json : ?decode:decode -> t -> Json.t
+(** Schema [asura-report/1]. *)

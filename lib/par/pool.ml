@@ -50,6 +50,10 @@ let pool =
     workers = 0;
   }
 
+(* Chunk functions run here must be pure per the contract in the mli;
+   the one sanctioned side effect is Obs.Coverage.record, whose
+   per-domain bitmap shards (keyed off this domain's DLS) merge by
+   bitwise OR and so cannot observe scheduling order. *)
 let worker_loop () =
   Domain.DLS.set in_worker_key true;
   let rec loop () =

@@ -20,6 +20,13 @@
     bookkeeping belongs in the spawning domain, after the join.  Chunk
     results are merged left-to-right in chunk index order.
 
+    One carve-out: transition-coverage recording ({!Obs.Coverage.record})
+    is legal inside workers.  Each domain writes a private bitmap shard
+    and the merge is a bitwise OR — commutative and idempotent — so the
+    merged bitmap is independent of scheduling and the parallel result
+    stays bit-identical to the sequential one.  Anything whose merge is
+    order-sensitive (counters, histograms, traces) remains forbidden.
+
     Nested parallel regions are not parallelized: a call made from inside
     a worker runs sequentially, so kernels freely compose without
     deadlocking the pool. *)

@@ -159,6 +159,27 @@ let table t =
       t.generated <- Some tbl;
       tbl
 
+(* One table row as a readable transition: the non-NULL input cells as
+   a guard, "->", the non-NULL output cells as the action — the decoded
+   form `asura report` prints for uncovered rows. *)
+let describe_row t i =
+  let tbl = table t in
+  let row = Relalg.Table.get tbl i in
+  let cells cols =
+    List.filter_map
+      (fun c ->
+        match Relalg.Table.cell tbl row c with
+        | Relalg.Value.Null -> None
+        | v -> Some (Printf.sprintf "%s=%s" c (Relalg.Value.to_string v)))
+      cols
+  in
+  let side cols empty =
+    match cells cols with [] -> empty | cs -> String.concat " " cs
+  in
+  Printf.sprintf "%s -> %s"
+    (side (input_columns t) "(always)")
+    (side (output_columns t) "(no action)")
+
 let constraints_listing t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "-- column constraints for %s\n" t.name);

@@ -73,6 +73,13 @@ val generate : t -> Relalg.Table.t * Relalg.Solver.stats
 val table : t -> Relalg.Table.t
 (** Memoized {!generate}. *)
 
+val describe_row : t -> int -> string
+(** Row [i] of {!table} as a readable transition:
+    ["inmsg=readex dirst=I ... -> locmsg=data ..."] (non-NULL input
+    cells, then non-NULL outputs).  Used by [asura report] to decode
+    uncovered coverage-bitmap rows.
+    @raise Invalid_argument on an out-of-range index. *)
+
 val constraints_listing : t -> string
 (** Human-readable dump of every column constraint — the "database input"
     component (ii) of the paper's push-button flow. *)

@@ -205,6 +205,7 @@ let rec node_to_json n =
 let to_json r =
   Obs.Json.Obj
     [
+      "schema", Obs.Json.Str "asura-explain/1";
       "rows", Obs.Json.Int (Table.cardinality r.table);
       "total_ns", Obs.Json.Float (Int64.to_float r.total_ns);
       "physical", Obs.Json.Str (Physical.explain r.physical);

@@ -76,6 +76,7 @@ let column_sparsity p c =
 let to_json p =
   Obs.Json.Obj
     [
+      "schema", Obs.Json.Str "asura-stats/1";
       "table", Obs.Json.Str p.table;
       "rows", Obs.Json.Int p.rows;
       "columns", Obs.Json.Int p.columns;

@@ -183,9 +183,14 @@ let generate ?funcs s =
       parts;
     let kept = List.length rows' in
     per_column := (col.cname, kept) :: !per_column;
-    pruning :=
-      { column = col.cname; considered = !candidates - candidates_before; kept }
-      :: !pruning;
+    let considered = !candidates - candidates_before in
+    pruning := { column = col.cname; considered; kept } :: !pruning;
+    (* per-constraint pruning attribution: candidate rows this column's
+       newly-applicable constraints eliminated, so the most selective
+       constraints are visible in metrics snapshots and run manifests *)
+    Obs.Metrics.add
+      (obs_counter (Printf.sprintf "pruned.%s.%s" s.sname col.cname))
+      (considered - kept);
     schema', rows'
   in
   let schema, rows =
@@ -257,6 +262,9 @@ let generate_monolithic ?funcs s =
   let evaluations =
     ref (Array.fold_left (fun acc (_, _, e) -> acc + e) 0 parts)
   in
+  Obs.Metrics.add
+    (obs_counter (Printf.sprintf "pruned.%s.<full product>" s.sname))
+    (!candidates - List.length rows);
   ( attach_domain_lineage s (Table.of_rows ~name:s.sname schema rows),
     {
       candidates = !candidates;

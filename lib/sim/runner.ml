@@ -115,13 +115,26 @@ let run ?(script = []) ?(trace = fun _ -> ()) ?(max_steps = 10_000) config st =
   let t0 = Obs.Clock.now_ns () in
   let steps = ref 0 in
   let st = ref st in
+  (* --progress heartbeat: one line per interval with the step count and
+     total channel occupancy; a single match when progress is off *)
+  let beat () =
+    Obs.Runlog.tick (fun () ->
+        let in_flight =
+          List.fold_left
+            (fun acc (_, n) -> acc + n)
+            0
+            (Channel.occupancy ~v:config.v !st)
+        in
+        Printf.sprintf "[sim] steps=%d in_flight=%d" !steps in_flight)
+  in
   List.iter
     (fun ev ->
       let label, st' = apply_event config !st ev in
       incr steps;
       trace label;
       st := st';
-      sample_occupancy config !st)
+      sample_occupancy config !st;
+      beat ())
     script;
   let rec free_run () =
     if !steps >= max_steps then
@@ -144,6 +157,7 @@ let run ?(script = []) ?(trace = fun _ -> ()) ?(max_steps = 10_000) config st =
                 trace label;
                 st := st';
                 sample_occupancy config !st;
+                beat ();
                 true
             | None -> false)
           heads
@@ -185,6 +199,21 @@ let run ?(script = []) ?(trace = fun _ -> ()) ?(max_steps = 10_000) config st =
   in
   let result, final = free_run () in
   record_wedge ~t0 ~steps:!steps result;
+  if Obs.Runlog.configured () then
+    Obs.Runlog.note "sim"
+      (Obs.Json.Obj
+         [
+           ("steps", Obs.Json.Int !steps);
+           ( "result",
+             Obs.Json.Str
+               (match result with
+               | Quiescent _ -> "quiescent"
+               | Deadlock _ -> "deadlock") );
+           ( "blocked",
+             match result with
+             | Quiescent _ -> Obs.Json.Int 0
+             | Deadlock { blocked; _ } -> Obs.Json.Int (List.length blocked) );
+         ]);
   result, final
 
 let pp_result fmt = function

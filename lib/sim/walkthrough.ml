@@ -3,6 +3,9 @@ type t = {
   description : string;
   trace : string list;
   chart : string;
+  rows_exercised : int option;
+      (* controller-table rows this walkthrough covered for the first
+         time in the current coverage session; None when coverage is off *)
 }
 
 let collect () =
@@ -32,8 +35,15 @@ let run_ops ?(nodes = 3) ?(addrs = 1) ?(io_addrs = []) ?(prepare = Fun.id) v ops
   ignore st;
   log ()
 
-let make name description trace =
-  { name; description; trace; chart = Msc.render_run trace }
+(* [trace_f] runs the transaction; bracketing it with coverage totals
+   attributes to each walkthrough the rows it is first to exercise, so
+   the generated document shows what each transaction adds. *)
+let make name description trace_f =
+  let covered () = fst (Obs.Coverage.totals (Obs.Coverage.snapshot ())) in
+  let before = if Obs.Coverage.on () then Some (covered ()) else None in
+  let trace = trace_f () in
+  let rows_exercised = Option.map (fun b -> covered () - b) before in
+  { name; description; trace; chart = Msc.render_run trace; rows_exercised }
 
 let all ?(v = Checker.Vcassign.debugged) () =
   [
@@ -41,12 +51,12 @@ let all ?(v = Checker.Vcassign.debugged) () =
       "A load against an uncached line: the directory fetches the data \
        from home memory and installs the requester as a sharer once its \
        completion ack arrives."
-      (run_ops v [ 0, 0, "load" ]);
+      (fun () -> run_ops v [ 0, 0, "load" ]);
     make "store miss with invalidations"
       "The paper's Figure 2: a store against a line shared by two remote \
        nodes.  Both sharers are invalidated (sinv/idone), memory supplies \
        the data, ownership transfers with the exclusive grant."
-      (run_ops v
+      (fun () -> run_ops v
          ~prepare:(fun st ->
            let st =
              Mcheck.Mstate.set_addr st 0
@@ -58,7 +68,7 @@ let all ?(v = Checker.Vcassign.debugged) () =
     make "ownership upgrade"
       "A store by an existing sharer: no data moves; the other sharer is \
        invalidated and the directory grants ownership with a bare compl."
-      (run_ops v
+      (fun () -> run_ops v
          ~prepare:(fun st ->
            let st =
              Mcheck.Mstate.set_addr st 0
@@ -70,7 +80,7 @@ let all ?(v = Checker.Vcassign.debugged) () =
     make "writeback"
       "The owner evicts its dirty line: the data is forwarded to memory \
        (mwrite/mack) and the transaction completes with compl."
-      (run_ops v
+      (fun () -> run_ops v
          ~prepare:(fun st ->
            let st =
              Mcheck.Mstate.set_addr st 0
@@ -83,7 +93,7 @@ let all ?(v = Checker.Vcassign.debugged) () =
       "A load against a line another node owns dirty: the owner is \
        downgraded with sread, supplies the data, and the directory copies \
        it back to memory with the sharing writeback mupdate."
-      (run_ops v
+      (fun () -> run_ops v
          ~prepare:(fun st ->
            let st =
              Mcheck.Mstate.set_addr st 0
@@ -95,11 +105,11 @@ let all ?(v = Checker.Vcassign.debugged) () =
     make "uncached I/O read"
       "An I/O-space load: serialized through the busy directory and served \
        by the home device bus (mioread/mdata), no coherence machinery."
-      (run_ops v ~io_addrs:[ 0 ] [ 0, 0, "ioload" ]);
+      (fun () -> run_ops v ~io_addrs:[ 0 ] [ 0, 0, "ioload" ]);
     make "lock handoff"
       "Acquire and release of a synchronization lock homed in the \
        directory: grant on a free line, release restores it."
-      (run_ops v [ 0, 0, "lockacq"; 0, 0, "lockrel" ]);
+      (fun () -> run_ops v [ 0, 0, "lockacq"; 0, 0, "lockrel" ]);
   ]
 
 let to_markdown ws =
@@ -108,6 +118,13 @@ let to_markdown ws =
   List.iter
     (fun w ->
       Buffer.add_string buf (Printf.sprintf "### %s\n\n%s\n\n" w.name w.description);
+      (match w.rows_exercised with
+      | Some n when n > 0 ->
+          Buffer.add_string buf
+            (Printf.sprintf "_First to exercise %d controller-table row%s._\n\n"
+               n
+               (if n = 1 then "" else "s"))
+      | Some _ | None -> ());
       Buffer.add_string buf (Printf.sprintf "```\n%s```\n\n" w.chart))
     ws;
   Buffer.contents buf

@@ -14,6 +14,10 @@ type t = {
   description : string;
   trace : string list;
   chart : string;  (** ASCII message-sequence chart *)
+  rows_exercised : int option;
+      (** controller-table rows this walkthrough covered for the first
+          time in the current coverage session ([None] when coverage
+          recording is off) *)
 }
 
 val all : ?v:Checker.Vcassign.t -> unit -> t list

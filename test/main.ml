@@ -24,4 +24,5 @@ let () =
       "simulator", Test_sim.suite;
       "sequence-charts", Test_msc.suite;
       "transaction-walkthroughs", Test_walkthrough.suite;
+      "coverage-and-manifests", Test_coverage.suite;
     ]
