@@ -512,6 +512,78 @@ let mcheck_cmd =
       const run $ setup_term $ nodes $ addrs $ max_states $ evictions
       $ depth_profile $ msc)
 
+(* ------------------------- system tables (sys.) ----------------------- *)
+
+let read_file f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Load every .json under a --runs directory as labeled documents for
+   the manifest-backed sys. tables; unreadable or unparseable files are
+   skipped with a warning, like [asura report]. *)
+let load_run_docs dir =
+  let entries =
+    match Sys.readdir dir with
+    | entries ->
+        Array.sort compare entries;
+        Array.to_list entries
+    | exception Sys_error msg ->
+        Printf.eprintf "cannot read runs directory: %s\n" msg;
+        exit 2
+  in
+  List.filter_map
+    (fun f ->
+      if not (Filename.check_suffix f ".json") then None
+      else
+        match Obs.Json.parse (read_file (Filename.concat dir f)) with
+        | Ok j -> Some (f, j)
+        | Error msg ->
+            Printf.eprintf "warning: skipping %s: %s\n" f msg;
+            None
+        | exception Sys_error msg ->
+            Printf.eprintf "warning: skipping %s: %s\n" f msg;
+            None)
+    entries
+
+let warn_skipped =
+  List.iter (fun (label, reason) ->
+      Printf.eprintf "warning: skipping %s: %s\n" label reason)
+
+let runs_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "runs" ] ~docv:"DIR"
+        ~doc:
+          "Attach the manifest-backed system tables ($(b,sys.runs), \
+           $(b,sys.run_metrics), $(b,sys.bench), $(b,sys.coverage)) built \
+           from the run manifests and bench snapshots under $(docv).")
+
+(* Execute one statement with every engine error rendered as a clean
+   diagnostic (exit 2) instead of an uncaught exception.  Writes are
+   executed but the resulting catalog is ephemeral — the CLI's value is
+   that CREATE/INSERT/DROP statements are validated, including the
+   reserved-sys. rejection. *)
+let run_statement db q =
+  match Relalg.Sql_exec.exec db q with
+  | _, Some t -> print_string (Relalg.Table.to_string t)
+  | _, None -> ()
+  | exception Relalg.Sql_parser.Parse_error msg
+  | exception Relalg.Sql_exec.Exec_error msg ->
+      Printf.eprintf "sql: %s\n" msg;
+      exit 2
+  | exception Relalg.Sql_lexer.Lex_error { pos; message } ->
+      Printf.eprintf "sql: at offset %d: %s\n" pos message;
+      exit 2
+  | exception Relalg.Database.Unknown_table t ->
+      Printf.eprintf "sql: unknown table %s\n" t;
+      exit 2
+  | exception Relalg.Schema.Unknown_column c ->
+      Printf.eprintf "sql: unknown column %s\n" c;
+      exit 2
+
 (* -------------------------------- sql -------------------------------- *)
 
 let sql_cmd =
@@ -519,18 +591,121 @@ let sql_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"QUERY" ~doc:"A SQL query over the controller tables.")
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "A SQL query over the controller tables, or over the engine's \
+             own telemetry via the $(b,sys.) system tables.")
   in
-  let run () query =
+  let run () query runs =
     let db = Protocol.database () in
-    print_string (Relalg.Table.to_string (Relalg.Sql_exec.query db query))
+    (* A query that mentions sys. gets the telemetry snapshot attached;
+       everything else runs against the protocol catalog untouched. *)
+    let db =
+      if runs = None && not (Systables.mentions_sys query) then db
+      else
+        let db = Systables.attach_live db in
+        match runs with
+        | None -> db
+        | Some dir ->
+            (* manifest-backed tables replace the live sys.coverage so
+               the query sees the same merged bitmaps asura report does *)
+            let db, skipped = Systables.attach_docs (load_run_docs dir) db in
+            warn_skipped skipped;
+            db
+    in
+    run_statement db query
   in
   Cmd.v
     (Cmd.info "sql"
        ~doc:
          "Run a SQL query against the controller-table database, e.g. \
-          \"SELECT inmsg, locmsg FROM D WHERE bdirlookup = 'hit'\".")
-    Term.(const run $ setup_term $ query)
+          \"SELECT inmsg, locmsg FROM D WHERE bdirlookup = 'hit'\" — or \
+          against the engine's own telemetry, e.g. \"SELECT table_name, \
+          COUNT(*) FROM sys.coverage WHERE NOT covered GROUP BY \
+          table_name\" with --runs.")
+    Term.(const run $ setup_term $ query $ runs_arg)
+
+(* -------------------------------- top --------------------------------- *)
+
+let top_cmd =
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ] ~docv:"KEY"
+          ~doc:"Run a single canned query instead of the whole set.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 5_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "State budget of the small model-checking run used to \
+             exercise the engine.")
+  in
+  let run () runs only max_states =
+    (* Exercise the pipeline with telemetry armed so the live sys.
+       tables have something to say: the invariant suite and deadlock
+       analysis populate spans/metrics, the small mcheck run fires
+       transition coverage. *)
+    Obs.Config.enable ();
+    Obs.Coverage.enable ();
+    let db = Protocol.database () in
+    ignore (Checker.Invariant.run_all db);
+    ignore (Checker.Deadlock.analyze Checker.Vcassign.debugged);
+    ignore
+      (Mcheck.Explore.run ~max_states
+         {
+           Mcheck.Semantics.nodes = 2;
+           addrs = 1;
+           ops = [ "load"; "store" ];
+           capacity = 3;
+           io_addrs = [];
+           lossy = false;
+         });
+    let db = Systables.attach_live db in
+    let db, have_docs =
+      match runs with
+      | None -> (db, false)
+      | Some dir ->
+          let db, skipped = Systables.attach_docs (load_run_docs dir) db in
+          warn_skipped skipped;
+          (db, true)
+    in
+    let wanted =
+      match only with
+      | None -> Systables.canned
+      | Some key -> (
+          match
+            List.find_opt (fun c -> c.Systables.key = key) Systables.canned
+          with
+          | Some c -> [ c ]
+          | None ->
+              Printf.eprintf "top: unknown query %s (one of: %s)\n" key
+                (String.concat ", "
+                   (List.map (fun c -> c.Systables.key) Systables.canned));
+              exit 2)
+    in
+    List.iter
+      (fun (c : Systables.canned) ->
+        Printf.printf "## %s [%s]\n" c.title c.key;
+        if (not c.Systables.live) && not have_docs then
+          print_string "(skipped: needs --runs DIR)\n\n"
+        else begin
+          Printf.printf "-- %s\n" c.sql;
+          print_string (Relalg.Table.to_string (Relalg.Sql_exec.query db c.sql));
+          print_newline ()
+        end)
+      wanted
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Exercise the engine with telemetry on and answer the canned \
+          operational questions — slowest operators, hottest and \
+          least-covered controller tables, bench speedup regressions — \
+          each implemented as plain SQL over the sys. system tables.")
+    Term.(const run $ setup_term $ runs_arg $ only $ max_states)
 
 (* ------------------------------ export ------------------------------- *)
 
@@ -703,35 +878,49 @@ let report_cmd =
       & info [ "max-uncovered" ] ~docv:"N"
           ~doc:"Cap the decoded uncovered-transition listing per table.")
   in
-  let run () files json_flag html max_uncovered min_coverage min_table =
-    let docs =
-      List.map
-        (fun f ->
-          let read () =
-            let ic = open_in_bin f in
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () -> really_input_string ic (in_channel_length ic))
-          in
-          match Obs.Json.parse (read ()) with
-          | Ok j -> (Filename.basename f, j)
-          | Error msg ->
-              Printf.eprintf "%s: %s\n" f msg;
-              exit 2)
-        files
+  let trend =
+    Arg.(
+      value & flag
+      & info [ "trend" ]
+          ~doc:
+            "Append a trend section charting coverage percent and \
+             states/s across the run manifests, computed by querying the \
+             $(b,sys.runs) system table (Markdown output only).")
+  in
+  let run () files json_flag html max_uncovered trend min_coverage min_table =
+    (* A file that fails to read, parse or classify is skipped with a
+       warning instead of aborting the report; only when every input is
+       bad is there nothing to aggregate and exit 2 applies. *)
+    let docs, unreadable =
+      List.fold_left
+        (fun (docs, bad) f ->
+          match Obs.Json.parse (read_file f) with
+          | Ok j -> ((Filename.basename f, j) :: docs, bad)
+          | Error msg -> (docs, (Filename.basename f, msg) :: bad)
+          | exception Sys_error msg -> (docs, (Filename.basename f, msg) :: bad))
+        ([], []) files
     in
-    match Obs.Runreport.collect docs with
-    | Error msg ->
-        prerr_endline msg;
-        exit 2
-    | Ok agg ->
-        let decode = decode_row in
-        if json_flag then
-          print_endline (Obs.Json.to_string (Obs.Runreport.to_json ~decode agg))
-        else if html then
-          print_string (Obs.Runreport.render_html ~decode ~max_uncovered agg)
-        else
-          print_string (Obs.Runreport.render_markdown ~decode ~max_uncovered agg);
+    let agg, misclassified = Obs.Runreport.collect (List.rev docs) in
+    let skipped = List.rev unreadable @ misclassified in
+    List.iter
+      (fun (label, reason) ->
+        Printf.eprintf "warning: skipping %s: %s\n" label reason)
+      skipped;
+    if Obs.Runreport.is_empty agg then begin
+      prerr_endline "report: no usable input documents";
+      exit 2
+    end;
+    let decode = decode_row in
+    if json_flag then
+      print_endline
+        (Obs.Json.to_string (Obs.Runreport.to_json ~decode ~skipped agg))
+    else if html then
+      print_string (Obs.Runreport.render_html ~decode ~max_uncovered ~skipped agg)
+    else begin
+      print_string
+        (Obs.Runreport.render_markdown ~decode ~max_uncovered ~skipped agg);
+      if trend then print_string ("\n" ^ Systables.trend (List.rev docs))
+    end;
         let failed = ref false in
         (match min_coverage with
         | None -> ()
@@ -777,7 +966,7 @@ let report_cmd =
           decoded back to readable transitions, the invariant hit \
           matrix, and seq-vs-par bench regressions.")
     Term.(
-      const run $ setup_term $ files $ json $ html $ max_uncovered
+      const run $ setup_term $ files $ json $ html $ max_uncovered $ trend
       $ min_coverage $ min_table)
 
 (* ------------------------------ explain ------------------------------ *)
@@ -857,6 +1046,6 @@ let () =
           (Cmd.info "asura" ~version:"1.0.0" ~doc)
           [
             generate_cmd; invariants_cmd; deadlock_cmd; why_cmd; map_cmd;
-            simulate_cmd; mcheck_cmd; sql_cmd; review_cmd; report_cmd;
-            explain_cmd; export_cmd; stats_cmd;
+            simulate_cmd; mcheck_cmd; sql_cmd; top_cmd; review_cmd;
+            report_cmd; explain_cmd; export_cmd; stats_cmd;
           ]))

@@ -36,14 +36,14 @@ let triple_of_row schema row (mc, sc, dc) =
         match cell with
         | Value.Str s -> Some s
         | Value.Null -> fallback f
-        | Value.Int _ | Value.Bool _ -> None
+        | Value.Int _ | Value.Bool _ | Value.Float _ -> None
       in
       Option.bind (resolve (get sc) (fun m -> m.Protocol.Message.src))
         (fun src ->
           Option.map
             (fun dst -> msg, src, dst)
             (resolve (get dc) (fun m -> m.Protocol.Message.dst)))
-  | Value.Null | Value.Int _ | Value.Bool _ -> None
+  | Value.Null | Value.Int _ | Value.Bool _ | Value.Float _ -> None
 
 let assign_of ~v (msg, src, dst) =
   Option.map

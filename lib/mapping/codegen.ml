@@ -13,6 +13,7 @@ let cells_of cols schema row =
       | Value.Str s -> Some (c, s)
       | Value.Int i -> Some (c, string_of_int i)
       | Value.Bool b -> Some (c, string_of_bool b)
+      | Value.Float f -> Some (c, Value.to_string (Value.Float f))
       | Value.Null -> None)
     cols
 
@@ -34,6 +35,7 @@ let rules_of_table ~inputs ~outputs t =
               | Value.Str s -> Some s
               | Value.Int i -> Some (string_of_int i)
               | Value.Bool b -> Some (string_of_bool b)
+              | Value.Float f -> Some (Value.to_string (Value.Float f))
               | Value.Null -> None)
         in
         (c, Table.codes t j, strs))

@@ -98,16 +98,22 @@ let expand_state sr ~frontier ~depth =
    configured interval; when --progress is off this is one match. *)
 let heartbeat sr ~max_states ~frontier =
   Obs.Runlog.tick (fun () ->
+      (* The first tick can fire with elapsed ~ 0 (or exactly 0 at clock
+         granularity): dividing by it yields an absurd or non-finite
+         rate, and the ETA then prints as inf/nan.  Below a millisecond
+         of elapsed time there is no meaningful rate yet. *)
       let elapsed = Sys.time () -. sr.t0 in
       let rate =
-        if elapsed <= 0. then 0. else float_of_int sr.s_explored /. elapsed
+        if elapsed < 1e-3 then 0.
+        else float_of_int sr.s_explored /. elapsed
       in
+      let rate = if Float.is_finite rate && rate > 0. then rate else 0. in
       let covered, rows = Obs.Coverage.totals (Obs.Coverage.snapshot ()) in
       let eta =
         if rate <= 0. then "?"
         else
-          Printf.sprintf "%.0fs"
-            (float_of_int (max 0 (max_states - sr.s_explored)) /. rate)
+          let s = float_of_int (max 0 (max_states - sr.s_explored)) /. rate in
+          if Float.is_finite s then Printf.sprintf "%.0fs" s else "?"
       in
       Printf.sprintf
         "[mcheck] explored=%d frontier=%d depth=%d states/s=%.0f \

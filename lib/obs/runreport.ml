@@ -33,26 +33,34 @@ type t = {
   explains : (string * Json.t) list;
 }
 
+(* A malformed document no longer poisons the whole report: it is
+   skipped and surfaced as a (label, reason) warning, so one corrupt
+   manifest in runs/ cannot hide the coverage of every healthy run. *)
 let collect labeled =
-  let rec go acc = function
+  let rec go acc skipped = function
     | [] ->
-        Ok
-          {
+        ( {
             runs = List.rev acc.runs;
             benches = List.rev acc.benches;
             stats = List.rev acc.stats;
             explains = List.rev acc.explains;
-          }
+          },
+          List.rev skipped )
     | (label, doc) :: rest -> (
         match classify doc with
-        | Error e -> Error (Printf.sprintf "%s: %s" label e)
-        | Ok (Run d) -> go { acc with runs = (label, d) :: acc.runs } rest
-        | Ok (Bench d) -> go { acc with benches = (label, d) :: acc.benches } rest
-        | Ok (Stats d) -> go { acc with stats = (label, d) :: acc.stats } rest
+        | Error e -> go acc ((label, e) :: skipped) rest
+        | Ok (Run d) -> go { acc with runs = (label, d) :: acc.runs } skipped rest
+        | Ok (Bench d) ->
+            go { acc with benches = (label, d) :: acc.benches } skipped rest
+        | Ok (Stats d) ->
+            go { acc with stats = (label, d) :: acc.stats } skipped rest
         | Ok (Explain d) ->
-            go { acc with explains = (label, d) :: acc.explains } rest)
+            go { acc with explains = (label, d) :: acc.explains } skipped rest)
   in
-  go { runs = []; benches = []; stats = []; explains = [] } labeled
+  go { runs = []; benches = []; stats = []; explains = [] } [] labeled
+
+let is_empty agg =
+  agg.runs = [] && agg.benches = [] && agg.stats = [] && agg.explains = []
 
 (* ------------------------- coverage aggregation ----------------------- *)
 
@@ -227,10 +235,19 @@ let run_summary_row doc =
 let md_escape s =
   String.concat "\\|" (String.split_on_char '|' s)
 
-let render_markdown ?(decode : decode option) ?(max_uncovered = 10) agg =
+let render_markdown ?(decode : decode option) ?(max_uncovered = 10)
+    ?(skipped = []) agg =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "# asura run report\n\n";
+  if skipped <> [] then begin
+    pr "## Skipped inputs\n\n";
+    List.iter
+      (fun (label, reason) ->
+        pr "- %s — %s\n" (md_escape label) (md_escape reason))
+      skipped;
+    pr "\n"
+  end;
   if agg.runs <> [] then begin
     pr "## Runs\n\n";
     pr "| manifest | cmd | date | git | elapsed |\n";
@@ -367,8 +384,8 @@ let html_escape s =
 (* Minimal HTML: the markdown content is line-structured enough (ATX
    headings, pipe tables, list items) to convert mechanically; anything
    unrecognized becomes a paragraph. *)
-let render_html ?decode ?max_uncovered agg =
-  let md = render_markdown ?decode ?max_uncovered agg in
+let render_html ?decode ?max_uncovered ?skipped agg =
+  let md = render_markdown ?decode ?max_uncovered ?skipped agg in
   let buf = Buffer.create (String.length md * 2) in
   Buffer.add_string buf
     "<!doctype html>\n<html><head><meta charset=\"utf-8\"><title>asura run \
@@ -434,12 +451,19 @@ let render_html ?decode ?max_uncovered agg =
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
 
-let to_json ?(decode : decode option) agg =
+let to_json ?(decode : decode option) ?(skipped = []) agg =
   let cov = coverage agg in
   let covered, rows = Coverage.totals cov in
   Json.Obj
     [
       ("schema", Json.Str "asura-report/1");
+      ( "skipped",
+        Json.List
+          (List.map
+             (fun (label, reason) ->
+               Json.Obj
+                 [ ("file", Json.Str label); ("reason", Json.Str reason) ])
+             skipped) );
       ( "runs",
         Json.List
           (List.map

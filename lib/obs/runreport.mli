@@ -20,8 +20,13 @@ type t = {
   explains : (string * Json.t) list;
 }
 
-val collect : (string * Json.t) list -> (t, string) result
-(** Classify every labeled document; first failure wins. *)
+val collect : (string * Json.t) list -> t * (string * string) list
+(** Classify every labeled document.  Malformed ones (bad or missing
+    ["schema"]) are skipped rather than failing the aggregation; they
+    come back as [(label, reason)] warnings in input order. *)
+
+val is_empty : t -> bool
+(** No document of any kind survived classification. *)
 
 val coverage : t -> Coverage.table_coverage list
 (** Bitmaps ORed across all run manifests; tables whose row count
@@ -46,11 +51,24 @@ type decode = table:string -> rows:int -> row:int -> string option
     decoder can refuse when its regenerated table has a different
     shape. *)
 
-val render_markdown : ?decode:decode -> ?max_uncovered:int -> t -> string
+val render_markdown :
+  ?decode:decode ->
+  ?max_uncovered:int ->
+  ?skipped:(string * string) list ->
+  t ->
+  string
 (** [max_uncovered] caps the decoded uncovered-row listing per table
-    (default 10; the remainder is summarized). *)
+    (default 10; the remainder is summarized).  [skipped] — typically
+    the warnings from {!collect} plus unreadable files — is listed in a
+    "Skipped inputs" section so the report records what it did not
+    see. *)
 
-val render_html : ?decode:decode -> ?max_uncovered:int -> t -> string
+val render_html :
+  ?decode:decode ->
+  ?max_uncovered:int ->
+  ?skipped:(string * string) list ->
+  t ->
+  string
 
-val to_json : ?decode:decode -> t -> Json.t
+val to_json : ?decode:decode -> ?skipped:(string * string) list -> t -> Json.t
 (** Schema [asura-report/1]. *)

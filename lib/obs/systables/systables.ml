@@ -1,0 +1,493 @@
+(* Engine telemetry as relational tables: the paper's thesis turned on
+   the toolchain itself.  Spans, metrics, coverage bitmaps, run
+   manifests and bench snapshots become ordinary columnar Table.t
+   values under the reserved sys. namespace, so the same SQL front end
+   that audits ASURA audits the checker — including the planner,
+   EXPLAIN ANALYZE and lineage, which all work on telemetry for free.
+
+   This is its own library (not part of obs) because the ingest side
+   needs relalg and protocol, and relalg itself depends on obs — folding
+   it into obs would close a dependency cycle. *)
+
+open Relalg
+module Json = Obs.Json
+
+let table_names =
+  [
+    "sys.spans";
+    "sys.span_stats";
+    "sys.metrics";
+    "sys.coverage";
+    "sys.runs";
+    "sys.run_metrics";
+    "sys.bench";
+  ]
+
+(* A query "mentions" the sys namespace when some identifier-shaped
+   token starts with "sys." — the trigger for the CLI to snapshot the
+   live registries before executing.  A false positive (the token in a
+   string literal) only costs an unused snapshot. *)
+let mentions_sys src =
+  let n = String.length src in
+  let at_word_start i =
+    i = 0
+    ||
+    match src.[i - 1] with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> false
+    | _ -> true
+  in
+  let rec go i =
+    if i + 4 > n then false
+    else if
+      at_word_start i
+      && (src.[i] = 's' || src.[i] = 'S')
+      && (src.[i + 1] = 'y' || src.[i + 1] = 'Y')
+      && (src.[i + 2] = 's' || src.[i + 2] = 'S')
+      && src.[i + 3] = '.'
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------ sys.spans ----------------------------- *)
+
+(* Trace events arrive in completion order, so a child span always
+   precedes its parent in the buffer.  Scanning the buffer in reverse
+   therefore visits every span before any of its descendants, and the
+   parent of a span at depth d on domain t is simply the depth d-1 span
+   most recently seen (in that reverse scan) on the same domain. *)
+let span_rows () =
+  let events = Array.of_list (Obs.Trace.events ()) in
+  let last : (int * int, string) Hashtbl.t = Hashtbl.create 32 in
+  let rows = ref [] in
+  for i = 0 to Array.length events - 1 do
+    match events.(Array.length events - 1 - i) with
+    | Obs.Trace.Complete { name; cat; ts_us; dur_us; depth; tid; args = _ } ->
+        let parent =
+          if depth = 0 then Value.Null
+          else
+            match Hashtbl.find_opt last (tid, depth - 1) with
+            | Some p -> Value.Str p
+            | None -> Value.Null
+        in
+        Hashtbl.replace last (tid, depth) name;
+        rows :=
+          [|
+            Value.Str name;
+            Value.Str cat;
+            parent;
+            Value.Int tid;
+            Value.Int depth;
+            Value.Float ts_us;
+            Value.Float dur_us;
+          |]
+          :: !rows
+    | Obs.Trace.Instant _ | Obs.Trace.Counter _ -> ()
+  done;
+  (* accumulated from a reverse scan, so !rows is back in buffer order *)
+  !rows
+
+let spans_schema =
+  Schema.of_list
+    [ "name"; "cat"; "parent"; "tid"; "depth"; "start_us"; "dur_us" ]
+
+let spans () = Table.of_rows ~name:"sys.spans" spans_schema (span_rows ())
+
+let span_stats_schema =
+  Schema.of_list [ "span"; "count"; "total_us"; "mean_us"; "min_us"; "max_us" ]
+
+(* Pre-aggregated because the SQL subset has no SUM: "slowest operators"
+   is then ORDER BY total_us DESC LIMIT n over this table. *)
+let span_stats () =
+  Table.of_rows ~name:"sys.span_stats" span_stats_schema
+    (List.map
+       (fun (s : Obs.Trace.span_stat) ->
+         [|
+           Value.Str s.span;
+           Value.Int s.count;
+           Value.Float s.total_us;
+           Value.Float
+             (if s.count = 0 then 0. else s.total_us /. float_of_int s.count);
+           Value.Float s.min_us;
+           Value.Float s.max_us;
+         |])
+       (Obs.Trace.span_stats ()))
+
+(* ----------------------------- sys.metrics ---------------------------- *)
+
+let metrics_schema =
+  Schema.of_list
+    [ "registry"; "key"; "kind"; "value"; "n"; "max"; "p50"; "p95"; "p99" ]
+
+let kind_string = function
+  | `Counter -> "counter"
+  | `Gauge -> "gauge"
+  | `Histogram -> "histogram"
+
+let metrics () =
+  Table.of_rows ~name:"sys.metrics" metrics_schema
+    (List.map
+       (fun (s : Obs.Metrics.stat) ->
+         [|
+           Value.Str s.s_registry;
+           Value.Str s.s_name;
+           Value.Str (kind_string s.s_kind);
+           Value.Float s.s_value;
+           Value.Int s.s_n;
+           Value.Float s.s_max;
+           Value.Float s.s_p50;
+           Value.Float s.s_p95;
+           Value.Float s.s_p99;
+         |])
+       (Obs.Metrics.snapshot ()))
+
+(* ---------------------------- sys.coverage ---------------------------- *)
+
+(* One row per controller-table row, so uncovered-transition queries are
+   plain WHERE NOT covered.  The description comes from the protocol
+   layer's row decoder and is NULL when the bitmap's recorded shape no
+   longer matches the regenerated controller (different protocol
+   version) — the same refusal the report renderer applies. *)
+let describe ~table ~rows ~row =
+  match Protocol.find table with
+  | None -> Value.Null
+  | Some c ->
+      let spec = c.Protocol.spec in
+      let t = Protocol.Ctrl_spec.table spec in
+      if Table.cardinality t = rows && row >= 0 && row < rows then
+        Value.Str (Protocol.Ctrl_spec.describe_row spec row)
+      else Value.Null
+
+let coverage_schema =
+  Schema.of_list [ "table_name"; "row"; "covered"; "description" ]
+
+let coverage_of entries =
+  let rows =
+    List.concat_map
+      (fun (tc : Obs.Coverage.table_coverage) ->
+        List.init tc.rows (fun row ->
+            [|
+              Value.Str tc.name;
+              Value.Int row;
+              Value.Bool (Obs.Coverage.is_covered tc row);
+              describe ~table:tc.name ~rows:tc.rows ~row;
+            |]))
+      entries
+  in
+  Table.of_rows ~name:"sys.coverage" coverage_schema rows
+
+let coverage () = coverage_of (Obs.Coverage.snapshot ())
+
+(* ------------------------------ sys.runs ------------------------------ *)
+
+let jstr ?(default = Value.Null) doc k =
+  match Option.bind (Json.member k doc) Json.to_str with
+  | Some s -> Value.Str s
+  | None -> default
+
+let jnum ?(default = Value.Null) doc k =
+  match Option.bind (Json.member k doc) Json.to_number with
+  | Some f -> Value.Float f
+  | None -> default
+
+let path doc keys = List.fold_left (fun d k -> Option.bind d (Json.member k)) (Some doc) keys
+
+let path_num doc keys = Option.bind (path doc keys) Json.to_number
+
+let runs_schema =
+  Schema.of_list
+    [
+      "file";
+      "cmd";
+      "argv";
+      "date";
+      "git_rev";
+      "elapsed_s";
+      "covered";
+      "rows";
+      "coverage_pct";
+      "states_per_sec";
+    ]
+
+let run_row (label, doc) =
+  let argv =
+    match Option.bind (Json.member "argv" doc) Json.to_list with
+    | Some parts ->
+        Value.Str
+          (String.concat " " (List.filter_map Json.to_str parts))
+    | None -> Value.Null
+  in
+  let intv keys =
+    match path_num doc keys with
+    | Some f -> Value.Int (int_of_float f)
+    | None -> Value.Null
+  in
+  [|
+    Value.Str label;
+    jstr doc "cmd";
+    argv;
+    jstr doc "date";
+    jstr doc "git_rev";
+    jnum doc "elapsed_s";
+    intv [ "coverage"; "covered" ];
+    intv [ "coverage"; "rows" ];
+    (match path_num doc [ "coverage"; "percent" ] with
+    | Some f -> Value.Float f
+    | None -> Value.Null);
+    (match
+       path_num doc [ "metrics"; "mcheck"; "gauges"; "states_per_sec"; "value" ]
+     with
+    | Some f -> Value.Float f
+    | None -> Value.Null);
+  |]
+
+let runs docs = Table.of_rows ~name:"sys.runs" runs_schema (List.map run_row docs)
+
+(* --------------------------- sys.run_metrics -------------------------- *)
+
+let run_metrics_schema =
+  Schema.of_list [ "file"; "registry"; "key"; "kind"; "value" ]
+
+(* Flatten each manifest's metrics snapshot: one row per instrument.
+   Histograms surface their mean under "value"; the full quantile set of
+   the LIVE registries is in sys.metrics — manifests only persist the
+   summary fields. *)
+let run_metric_rows (label, doc) =
+  match Json.member "metrics" doc with
+  | Some (Json.Obj registries) ->
+      List.concat_map
+        (fun (reg, groups) ->
+          let section kind value_of name =
+            match Json.member name groups with
+            | Some (Json.Obj entries) ->
+                List.filter_map
+                  (fun (key, v) ->
+                    Option.map
+                      (fun value ->
+                        [|
+                          Value.Str label;
+                          Value.Str reg;
+                          Value.Str key;
+                          Value.Str kind;
+                          Value.Float value;
+                        |])
+                      (value_of v))
+                  entries
+            | _ -> []
+          in
+          section "counter" Json.to_number "counters"
+          @ section "gauge"
+              (fun v -> Option.bind (Json.member "value" v) Json.to_number)
+              "gauges"
+          @ section "histogram"
+              (fun v -> Option.bind (Json.member "mean" v) Json.to_number)
+              "histograms")
+        registries
+  | _ -> []
+
+let run_metrics docs =
+  Table.of_rows ~name:"sys.run_metrics" run_metrics_schema
+    (List.concat_map run_metric_rows docs)
+
+(* ------------------------------ sys.bench ----------------------------- *)
+
+let bench_schema =
+  Schema.of_list
+    [
+      "file";
+      "date";
+      "kind";
+      "name";
+      "baseline_ns";
+      "measured_ns";
+      "speedup";
+      "regression";
+    ]
+
+(* Both speedup families normalize the same way: baseline is the slow
+   reference (sequential / list-of-rows), measured is the contender
+   (parallel / columnar), and speedup < 1.0 flags a regression. *)
+let bench_rows (label, doc) =
+  let date = jstr doc "date" in
+  let entry kind name baseline measured speedup =
+    [|
+      Value.Str label;
+      date;
+      Value.Str kind;
+      Value.Str name;
+      Value.Float baseline;
+      Value.Float measured;
+      Value.Float speedup;
+      Value.Bool (speedup < 1.0);
+    |]
+  in
+  let members k =
+    match Json.member k doc with Some (Json.List l) -> l | _ -> []
+  in
+  List.filter_map
+    (fun e ->
+      match
+        ( Option.bind (Json.member "name" e) Json.to_str,
+          Option.bind (Json.member "seq_ns" e) Json.to_number,
+          Option.bind (Json.member "par_ns" e) Json.to_number,
+          Option.bind (Json.member "speedup" e) Json.to_number )
+      with
+      | Some n, Some seq, Some par, Some sp -> Some (entry "par" n seq par sp)
+      | _ -> None)
+    (members "pairs")
+  @ List.filter_map
+      (fun e ->
+        match
+          ( Option.bind (Json.member "name" e) Json.to_str,
+            Option.bind (Json.member "listrep_ns" e) Json.to_number,
+            Option.bind (Json.member "columnar_ns" e) Json.to_number,
+            Option.bind (Json.member "speedup" e) Json.to_number )
+        with
+        | Some n, Some lst, Some col, Some sp ->
+            Some (entry "representation" n lst col sp)
+        | _ -> None)
+      (members "representation")
+
+let bench docs =
+  Table.of_rows ~name:"sys.bench" bench_schema (List.concat_map bench_rows docs)
+
+(* ------------------------------- attach ------------------------------- *)
+
+let put db t = Database.replace_system db t
+
+(* Live snapshot: what the current process has recorded so far.  The
+   coverage table matches the report renderer because both read the same
+   shard-merged snapshot. *)
+let attach_live db =
+  let db = put db (spans ()) in
+  let db = put db (span_stats ()) in
+  let db = put db (metrics ()) in
+  put db (coverage ())
+
+(* Manifest-backed snapshot: sys.coverage is built from the SAME
+   Runreport aggregation (bitmaps ORed per (table, rows)) that asura
+   report renders, so the uncovered counts of the acceptance query agree
+   with the report by construction. *)
+let attach_docs docs db =
+  let agg, skipped = Obs.Runreport.collect docs in
+  let db = put db (runs agg.Obs.Runreport.runs) in
+  let db = put db (run_metrics agg.Obs.Runreport.runs) in
+  let db = put db (bench agg.Obs.Runreport.benches) in
+  let db = put db (coverage_of (Obs.Runreport.coverage agg)) in
+  (db, skipped)
+
+(* ---------------------------- canned queries -------------------------- *)
+
+type canned = {
+  key : string;
+  title : string;
+  sql : string;
+  live : bool;  (** needs the live registries (vs manifest-backed tables) *)
+}
+
+let canned =
+  [
+    {
+      key = "slowest-operators";
+      title = "Slowest operators (by total span time)";
+      sql =
+        "SELECT span, count, total_us, mean_us, max_us FROM sys.span_stats \
+         ORDER BY total_us DESC LIMIT 10";
+      live = true;
+    };
+    {
+      key = "hottest-tables";
+      title = "Hottest controller tables (covered transitions)";
+      sql =
+        "SELECT table_name, COUNT(*) FROM sys.coverage WHERE covered GROUP \
+         BY table_name ORDER BY count DESC";
+      live = true;
+    };
+    {
+      key = "uncovered-by-controller";
+      title = "Uncovered transitions per controller";
+      sql =
+        "SELECT table_name, COUNT(*) FROM sys.coverage WHERE NOT covered \
+         GROUP BY table_name ORDER BY count DESC";
+      live = true;
+    };
+    {
+      key = "speedup-regressions";
+      title = "Bench speedup regressions (speedup < 1.0)";
+      sql =
+        "SELECT kind, name, speedup, baseline_ns, measured_ns FROM sys.bench \
+         WHERE regression ORDER BY speedup LIMIT 20";
+      live = false;
+    };
+  ]
+
+(* ------------------------------- trend -------------------------------- *)
+
+(* Coverage / throughput across manifests, computed by querying sys.runs
+   through the planner rather than walking manifest JSON: the system
+   tables are the single source for cross-run analytics. *)
+let trend_sql =
+  "SELECT file, date, coverage_pct, states_per_sec FROM sys.runs ORDER BY \
+   date, file"
+
+let bar width pct =
+  let filled =
+    max 0 (min width (int_of_float (Float.round (pct *. float_of_int width /. 100.))))
+  in
+  String.concat "" (List.init width (fun i -> if i < filled then "█" else "·"))
+
+let trend docs =
+  let db, _ = attach_docs docs Database.empty in
+  let t = Sql_exec.query db trend_sql in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "## Trend (coverage / throughput per manifest)\n\n";
+  if Table.is_empty t then
+    pr "_No run manifests to chart._\n"
+  else begin
+    pr "| manifest | date | coverage | | states/s |\n";
+    pr "|---|---|---:|---|---:|\n";
+    Table.iter
+      (fun row ->
+        let cell i = row.(i) in
+        let str v = match v with Value.Str s -> s | _ -> "-" in
+        let pct =
+          match cell 2 with Value.Float f -> Some f | _ -> None
+        in
+        let rate =
+          match cell 3 with Value.Float f -> Some f | _ -> None
+        in
+        pr "| %s | %s | %s | `%s` | %s |\n"
+          (str (cell 0))
+          (str (cell 1))
+          (match pct with Some f -> Printf.sprintf "%.1f%%" f | None -> "-")
+          (match pct with Some f -> bar 20 f | None -> String.make 20 ' ')
+          (match rate with Some f -> Printf.sprintf "%.0f" f | None -> "-"))
+      t
+  end;
+  Buffer.contents buf
+
+(* ------------------------------ export ------------------------------- *)
+
+(* Generic table → JSON rows, used by tests (round-tripping sys.runs)
+   and by artifact-producing CI steps. *)
+let table_to_json t =
+  let schema = Table.schema t in
+  let cols = Schema.columns schema in
+  let cell = function
+    | Value.Null -> Json.Null
+    | Value.Str s -> Json.Str s
+    | Value.Int i -> Json.Int i
+    | Value.Bool b -> Json.Bool b
+    | Value.Float f -> Json.Float f
+  in
+  Json.Obj
+    [
+      ("table", Json.Str (Table.name t));
+      ("columns", Json.List (List.map (fun c -> Json.Str c) cols));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map cell (Array.to_list row)))
+             (Table.rows t)) );
+    ]

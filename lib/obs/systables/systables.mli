@@ -1,0 +1,120 @@
+(** Self-hosted telemetry: the engine's own observability surfaces
+    (spans, metrics, coverage, run manifests, bench snapshots)
+    materialized as relational tables under the reserved [sys.]
+    namespace, so the SQL front end queries the checker the same way it
+    queries a protocol.
+
+    Two ingestion modes:
+    - {b live} ({!attach_live}): snapshot this process's trace buffer,
+      metric registries and coverage shards;
+    - {b manifest-backed} ({!attach_docs}): flatten the JSON documents
+      under a [--runs] directory — the same inputs [asura report]
+      aggregates, through the same {!Obs.Runreport.collect}, so SQL
+      answers and report answers agree by construction.
+
+    Tables are attached with {!Relalg.Database.replace_system}; user SQL
+    cannot create or mutate them ([sys.] is reserved at the catalog). *)
+
+val table_names : string list
+(** Every table this module can attach, for [--help] and docs. *)
+
+val mentions_sys : string -> bool
+(** Does the SQL text reference a [sys.]-prefixed identifier?  Used by
+    the CLI to decide whether to snapshot telemetry before executing.
+    Conservative: a match inside a string literal also returns [true]. *)
+
+(** {1 Live tables} *)
+
+val spans : unit -> Relalg.Table.t
+(** [sys.spans](name, cat, parent, tid, depth, start_us, dur_us): one
+    row per completed span.  [parent] is reconstructed from the
+    completion-ordered buffer (child precedes parent; the parent of a
+    depth-[d] span is the enclosing depth-[d-1] span on the same
+    domain) and is [NULL] for roots. *)
+
+val span_stats : unit -> Relalg.Table.t
+(** [sys.span_stats](span, count, total_us, mean_us, min_us, max_us):
+    spans rolled up by name — pre-aggregated so "slowest operators" is
+    an [ORDER BY total_us DESC LIMIT n] away in a SUM-less SQL
+    subset. *)
+
+val metrics : unit -> Relalg.Table.t
+(** [sys.metrics](registry, key, kind, value, n, max, p50, p95, p99):
+    every instrument of every registry; [kind] is ["counter"],
+    ["gauge"] or ["histogram"], quantiles are 0 for non-histograms. *)
+
+val coverage : unit -> Relalg.Table.t
+(** [sys.coverage](table_name, row, covered, description): one row per
+    controller-table row of the live coverage shards.  [description]
+    decodes the row through the protocol layer and is [NULL] when the
+    bitmap's recorded shape no longer matches the regenerated
+    controller. *)
+
+val coverage_of : Obs.Coverage.table_coverage list -> Relalg.Table.t
+(** Same table from explicit entries (e.g. manifest bitmaps merged by
+    {!Obs.Runreport.coverage}). *)
+
+(** {1 Manifest-backed tables}
+
+    Inputs are labeled documents: [(file name, parsed JSON)]. *)
+
+val runs : (string * Obs.Json.t) list -> Relalg.Table.t
+(** [sys.runs](file, cmd, argv, date, git_rev, elapsed_s, covered,
+    rows, coverage_pct, states_per_sec): one row per [asura-run/1]
+    manifest, with the coverage summary and the [mcheck] throughput
+    gauge flattened in so cross-run trend queries are single-table. *)
+
+val run_metrics : (string * Obs.Json.t) list -> Relalg.Table.t
+(** [sys.run_metrics](file, registry, key, kind, value): every
+    persisted instrument of every manifest (histograms surface their
+    mean). *)
+
+val bench : (string * Obs.Json.t) list -> Relalg.Table.t
+(** [sys.bench](file, date, kind, name, baseline_ns, measured_ns,
+    speedup, regression): seq-vs-par pairs ([kind = "par"]) and
+    representation comparisons ([kind = "representation"]) of every
+    [asura-bench/*] snapshot; [regression] is [speedup < 1.0]. *)
+
+(** {1 Attaching} *)
+
+val attach_live : Relalg.Database.t -> Relalg.Database.t
+(** Attach [sys.spans], [sys.span_stats], [sys.metrics] and
+    [sys.coverage] snapshotted from the live registries. *)
+
+val attach_docs :
+  (string * Obs.Json.t) list ->
+  Relalg.Database.t ->
+  Relalg.Database.t * (string * string) list
+(** Attach [sys.runs], [sys.run_metrics], [sys.bench] and
+    [sys.coverage] built from labeled documents.  Returns the
+    [(label, reason)] list of documents {!Obs.Runreport.collect}
+    skipped. *)
+
+(** {1 Canned queries} *)
+
+type canned = {
+  key : string;  (** CLI name, e.g. ["slowest-operators"] *)
+  title : string;
+  sql : string;
+  live : bool;  (** reads live tables (vs manifest-backed ones) *)
+}
+
+val canned : canned list
+(** The [asura top] query library — each entry is plain SQL over the
+    [sys.] tables, executed through the ordinary planner. *)
+
+(** {1 Trend} *)
+
+val trend_sql : string
+(** The query [trend] runs over [sys.runs]. *)
+
+val trend : (string * Obs.Json.t) list -> string
+(** Markdown table charting coverage percent and states/s across run
+    manifests, computed by executing {!trend_sql} over an attached
+    [sys.runs] — not by walking manifest JSON. *)
+
+(** {1 Export} *)
+
+val table_to_json : Relalg.Table.t -> Obs.Json.t
+(** Generic relational → JSON dump ([{table; columns; rows}]), used by
+    tests and CI artifacts to round-trip [sys.] snapshots. *)

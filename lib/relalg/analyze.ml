@@ -40,6 +40,13 @@ let describe : Physical.t -> string = function
   | Physical.Project (cols, _) ->
       Printf.sprintf "project [%s]" (String.concat ", " cols)
   | Physical.Distinct _ -> "distinct"
+  | Physical.Sort (keys, _) ->
+      Printf.sprintf "sort [%s]"
+        (String.concat ", "
+           (List.map
+              (fun (c, d) -> c ^ match d with `Asc -> "" | `Desc -> " desc")
+              keys))
+  | Physical.Limit (n, _) -> Printf.sprintf "limit %d" n
   | Physical.Union _ -> "union"
   | Physical.Except _ -> "except"
   | Physical.Intersect _ -> "intersect"
@@ -107,6 +114,13 @@ let rec execute store (p : Physical.t) : Table.t * node =
   | Physical.Distinct inner ->
       let t, c = execute store inner in
       finish [ c ] (Table.distinct t)
+  | Physical.Sort (keys, inner) ->
+      let t, c = execute store inner in
+      finish [ c ] (Ops.order_by keys t)
+  | Physical.Limit (n, inner) ->
+      let t, c = execute store inner in
+      (* a prefix gather copies codes but not dictionaries *)
+      finish [ c ] (Ops.limit n t)
   | Physical.Union (a, b) ->
       let ta, ca = execute store a in
       let tb, cb = execute store b in

@@ -7,6 +7,7 @@ let render_cell = function
   | Value.Null -> "NULL"
   | Value.Int i -> string_of_int i
   | Value.Bool b -> string_of_bool b
+  | Value.Float f -> Value.to_string (Value.Float f)
   | Value.Str s ->
       if needs_quoting s || s = "NULL" || s = "" then
         "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
@@ -20,7 +21,14 @@ let parse_cell s =
   | _ -> (
       match int_of_string_opt s with
       | Some i -> Value.Int i
-      | None -> Value.Str s)
+      | None -> (
+          (* only dotted numerals parse as floats, so symbolic constants
+             like "nan" or "infinity" stay strings *)
+          match
+            if String.contains s '.' then float_of_string_opt s else None
+          with
+          | Some f -> Value.Float f
+          | None -> Value.Str s))
 
 let to_string t =
   let buf = Buffer.create 1024 in

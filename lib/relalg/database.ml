@@ -5,21 +5,42 @@ type t = {
 
 exception Unknown_table of string
 exception Duplicate_table of string
+exception Reserved_name of string
+
+let system_prefix = "sys."
+
+let is_system_name n =
+  String.length n >= 4 && String.sub n 0 4 = system_prefix
+
+let guard n = if is_system_name n then raise (Reserved_name n)
 
 let empty = { tables = []; funcs = [] }
 
-let add db table =
+let add_unchecked db table =
   let n = Table.name table in
   if List.mem_assoc n db.tables then raise (Duplicate_table n);
   { db with tables = db.tables @ [ n, table ] }
 
-let replace db table =
+let replace_unchecked db table =
   let n = Table.name table in
   if List.mem_assoc n db.tables then
     { db with tables = List.map (fun (k, t) -> if k = n then k, table else k, t) db.tables }
-  else add db table
+  else add_unchecked db table
 
-let remove db n = { db with tables = List.remove_assoc n db.tables }
+let add db table =
+  guard (Table.name table);
+  add_unchecked db table
+
+let replace db table =
+  guard (Table.name table);
+  replace_unchecked db table
+
+let add_system = add_unchecked
+let replace_system = replace_unchecked
+
+let remove db n =
+  guard n;
+  { db with tables = List.remove_assoc n db.tables }
 
 let find db n =
   match List.assoc_opt n db.tables with

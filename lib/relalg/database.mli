@@ -10,14 +10,37 @@ type t
 exception Unknown_table of string
 exception Duplicate_table of string
 
+exception Reserved_name of string
+(** Raised by {!add}/{!replace}/{!remove} for names under the [sys.]
+    prefix, which is reserved for engine-materialized telemetry tables
+    ({!Systables} in [lib/obs/systables]). *)
+
+val system_prefix : string
+(** ["sys."] *)
+
+val is_system_name : string -> bool
+(** Whether a table name lies in the reserved [sys.] namespace. *)
+
 val empty : t
 val add : t -> Table.t -> t
-(** Register a table under its own name. @raise Duplicate_table. *)
+(** Register a table under its own name.
+    @raise Duplicate_table
+    @raise Reserved_name on a [sys.]-prefixed name. *)
 
 val replace : t -> Table.t -> t
-(** Like {!add} but overwrites an existing binding. *)
+(** Like {!add} but overwrites an existing binding.
+    @raise Reserved_name on a [sys.]-prefixed name. *)
+
+val add_system : t -> Table.t -> t
+(** {!add} without the [sys.] guard — the registration path for the
+    telemetry snapshotter, not for user data. @raise Duplicate_table. *)
+
+val replace_system : t -> Table.t -> t
+(** {!replace} without the [sys.] guard. *)
 
 val remove : t -> string -> t
+(** @raise Reserved_name on a [sys.]-prefixed name. *)
+
 val find : t -> string -> Table.t
 (** @raise Unknown_table. *)
 

@@ -51,7 +51,7 @@ let hit_rate d =
 let word = Sys.word_size / 8
 
 let value_bytes = function
-  | Value.Null | Value.Int _ | Value.Bool _ -> word
+  | Value.Null | Value.Int _ | Value.Bool _ | Value.Float _ -> word
   | Value.Str s -> (3 * word) + String.length s
 
 let translate ~from ~into =

@@ -1,16 +1,24 @@
 type operand = Col of string | Const of Value.t
 
+type cmp = Lt | Le | Gt | Ge
+
 type t =
   | True
   | False
   | Eq of operand * operand
   | Neq of operand * operand
+  | Cmp of cmp * operand * operand
   | In of operand * Value.t list
   | Fn of string * operand
   | And of t * t
   | Or of t * t
   | Not of t
   | Ternary of t * t * t
+
+let cmp_holds op n =
+  match op with Lt -> n < 0 | Le -> n <= 0 | Gt -> n > 0 | Ge -> n >= 0
+
+let cmp_to_string = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
 
 type funcs = string -> (Value.t -> bool) option
 
@@ -49,7 +57,7 @@ let free_columns e =
   in
   let rec go = function
     | True | False -> ()
-    | Eq (a, b) | Neq (a, b) -> add a; add b
+    | Eq (a, b) | Neq (a, b) | Cmp (_, a, b) -> add a; add b
     | In (a, _) | Fn (_, a) -> add a
     | And (a, b) | Or (a, b) -> go a; go b
     | Not a -> go a
@@ -68,6 +76,7 @@ let eval ?(funcs = no_funcs) schema row e =
     | False -> false
     | Eq (a, b) -> Value.equal (operand a) (operand b)
     | Neq (a, b) -> not (Value.equal (operand a) (operand b))
+    | Cmp (op, a, b) -> cmp_holds op (Value.order (operand a) (operand b))
     | In (a, vs) ->
         let v = operand a in
         List.exists (Value.equal v) vs
@@ -98,6 +107,9 @@ let compile ?(funcs = no_funcs) schema e =
     | Neq (a, b) ->
         let fa = operand a and fb = operand b in
         fun row -> not (Value.equal (fa row) (fb row))
+    | Cmp (op, a, b) ->
+        let fa = operand a and fb = operand b in
+        fun row -> cmp_holds op (Value.order (fa row) (fb row))
     | In (a, vs) ->
         let fa = operand a in
         fun row ->
@@ -160,6 +172,15 @@ let compile_columns ?(funcs = no_funcs) schema ~dict ~codes e =
             if a < na && b < nb then map.(a) = b
             else Value.equal (Dict.value da a) (Dict.value db b)
   in
+  (* Dictionary codes are interning order, not value order, so ordered
+     comparisons decode the cell; sys.* telemetry scans are small.  A
+     per-code memo would pay off only on large low-cardinality columns. *)
+  let decode_operand = function
+    | Const v -> fun _ -> v
+    | Col c ->
+        let d, cs = column c in
+        fun i -> Dict.value d cs.(i)
+  in
   let rec go = function
     | True -> fun _ -> true
     | False -> fun _ -> false
@@ -167,6 +188,9 @@ let compile_columns ?(funcs = no_funcs) schema ~dict ~codes e =
     | Neq (a, b) ->
         let f = equality a b in
         fun i -> not (f i)
+    | Cmp (op, a, b) ->
+        let fa = decode_operand a and fb = decode_operand b in
+        fun i -> cmp_holds op (Value.order (fa i) (fb i))
     | In (Const v, vs) ->
         let r = List.exists (Value.equal v) vs in
         fun _ -> r
@@ -235,6 +259,8 @@ let rec pp fmt = function
   | False -> Format.pp_print_string fmt "false"
   | Eq (a, b) -> Format.fprintf fmt "%a = %a" pp_operand a pp_operand b
   | Neq (a, b) -> Format.fprintf fmt "%a <> %a" pp_operand a pp_operand b
+  | Cmp (op, a, b) ->
+      Format.fprintf fmt "%a %s %a" pp_operand a (cmp_to_string op) pp_operand b
   | In (a, vs) ->
       Format.fprintf fmt "%a in (%s)" pp_operand a
         (String.concat ", " (List.map Value.to_sql vs))
@@ -247,7 +273,7 @@ let rec pp fmt = function
 let to_sql e =
   (* Ternaries have no SQL surface syntax; expand before rendering. *)
   let rec expand = function
-    | (True | False | Eq _ | Neq _ | In _ | Fn _) as atom -> atom
+    | (True | False | Eq _ | Neq _ | Cmp _ | In _ | Fn _) as atom -> atom
     | And (a, b) -> And (expand a, expand b)
     | Or (a, b) -> Or (expand a, expand b)
     | Not a -> Not (expand a)

@@ -11,11 +11,16 @@ type operand =
   | Col of string  (** reference to a column of the row under test *)
   | Const of Value.t  (** literal *)
 
+type cmp = Lt | Le | Gt | Ge
+
 type t =
   | True
   | False
   | Eq of operand * operand
   | Neq of operand * operand
+  | Cmp of cmp * operand * operand
+      (** ordered comparison under {!Value.order} (numeric across
+          Int/Float) — the [speedup < 1.0] shape of telemetry queries *)
   | In of operand * Value.t list
   | Fn of string * operand
       (** [Fn (f, x)]: application of a registered boolean function, e.g.
@@ -24,6 +29,12 @@ type t =
   | Or of t * t
   | Not of t
   | Ternary of t * t * t  (** [cond ? then_ : else_] *)
+
+val cmp_holds : cmp -> int -> bool
+(** [cmp_holds op n] interprets a comparator result [n] (as returned by
+    {!Value.order}) under [op]. *)
+
+val cmp_to_string : cmp -> string
 
 type funcs = string -> (Value.t -> bool) option
 (** Resolver for registered boolean functions used by {!eval}. *)

@@ -307,3 +307,32 @@ let group_count_lineage ~by t =
       let c, l = Hashtbl.find groups key in
       (Table.get projected i, c, l))
     !order
+
+(* Sort keys are decoded once into value arrays; the stable sort then
+   compares decoded cells under Value.order (numeric across Int/Float)
+   and ties keep input order.  Gathering by the sorted index list reuses
+   the input's dictionaries, so sorting never re-interns. *)
+let order_by keys t =
+  let schema = Table.schema t in
+  let n = Table.cardinality t in
+  let cols =
+    List.map
+      (fun (c, dir) ->
+        let j = Schema.index schema c in
+        let d = Table.dict t j and cs = Table.codes t j in
+        (Array.init n (fun i -> Dict.value d cs.(i)), dir))
+      keys
+  in
+  let rec cmp cols a b =
+    match cols with
+    | [] -> 0
+    | (vals, dir) :: rest ->
+        let r = Value.order vals.(a) vals.(b) in
+        let r = match dir with `Asc -> r | `Desc -> -r in
+        if r <> 0 then r else cmp rest a b
+  in
+  Table.gather ~name:(Table.name t) t
+    (List.stable_sort (cmp cols) (List.init n Fun.id))
+
+let limit n t =
+  if n >= Table.cardinality t then t else Table.filter_idx (fun i -> i < n) t

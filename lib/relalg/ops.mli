@@ -59,3 +59,11 @@ val group_count_lineage :
     every member row ({!Lineage.tracking}-style provenance for
     aggregates).  Synthesizes identity lineage when the input is a
     base table. *)
+
+val order_by : (string * [ `Asc | `Desc ]) list -> Table.t -> Table.t
+(** Stable sort of the rows by the named columns under {!Value.order}
+    (so [Int]/[Float] cells order numerically); ties keep input order.
+    Backs SQL's [ORDER BY]. *)
+
+val limit : int -> Table.t -> Table.t
+(** Keep the first [n] rows in current order.  Backs SQL's [LIMIT]. *)

@@ -12,6 +12,8 @@ type t =
   | Select of Expr.t * t
   | Project of string list * t
   | Distinct of t
+  | Sort of (string * [ `Asc | `Desc ]) list * t
+  | Limit of int * t
   | Union of t * t
   | Except of t * t
   | Intersect of t * t
@@ -77,6 +79,8 @@ let rec physicalize ~indexes (p : Plan.t) : t =
   | Plan.Select (pred, inner) -> Select (pred, physicalize ~indexes inner)
   | Plan.Project (cols, inner) -> Project (cols, physicalize ~indexes inner)
   | Plan.Distinct inner -> Distinct (physicalize ~indexes inner)
+  | Plan.Sort (keys, inner) -> Sort (keys, physicalize ~indexes inner)
+  | Plan.Limit (n, inner) -> Limit (n, physicalize ~indexes inner)
   | Plan.Union (a, b) -> Union (physicalize ~indexes a, physicalize ~indexes b)
   | Plan.Except (a, b) -> Except (physicalize ~indexes a, physicalize ~indexes b)
   | Plan.Intersect (a, b) ->
@@ -100,6 +104,8 @@ let rec execute store = function
       Ops.select ~funcs:(Database.functions store.db) pred (execute store inner)
   | Project (cols, inner) -> Ops.project cols (execute store inner)
   | Distinct inner -> Table.distinct (execute store inner)
+  | Sort (keys, inner) -> Ops.order_by keys (execute store inner)
+  | Limit (n, inner) -> Ops.limit n (execute store inner)
   | Union (a, b) -> Ops.union (execute store a) (execute store b)
   | Except (a, b) -> Ops.except (execute store a) (execute store b)
   | Intersect (a, b) -> Ops.intersect (execute store a) (execute store b)
@@ -148,6 +154,15 @@ let explain p =
         pr "project [%s]" (String.concat ", " cols);
         go (indent + 2) inner
     | Distinct inner -> pr "distinct"; go (indent + 2) inner
+    | Sort (keys, inner) ->
+        pr "sort [%s]"
+          (String.concat ", "
+             (List.map
+                (fun (c, d) ->
+                  c ^ match d with `Asc -> "" | `Desc -> " desc")
+                keys));
+        go (indent + 2) inner
+    | Limit (n, inner) -> pr "limit %d" n; go (indent + 2) inner
     | Count inner -> pr "count"; go (indent + 2) inner
     | Group_count (cols, inner) ->
         pr "group count by [%s]" (String.concat ", " cols);

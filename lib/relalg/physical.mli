@@ -25,6 +25,8 @@ type t =
   | Select of Expr.t * t
   | Project of string list * t
   | Distinct of t
+  | Sort of (string * [ `Asc | `Desc ]) list * t
+  | Limit of int * t
   | Union of t * t
   | Except of t * t
   | Intersect of t * t

@@ -3,6 +3,8 @@ type t =
   | Select of Expr.t * t
   | Project of string list * t
   | Distinct of t
+  | Sort of (string * [ `Asc | `Desc ]) list * t
+  | Limit of int * t
   | Union of t * t
   | Except of t * t
   | Intersect of t * t
@@ -13,17 +15,28 @@ type t =
 let of_query q =
   let rec go (q : Sql_ast.query) =
     match q with
-    | Sql_ast.Select { distinct; columns; from; where } ->
+    | Sql_ast.Select { distinct; columns; from; where; order_by; limit } ->
+        let dir = function Sql_ast.Asc -> `Asc | Sql_ast.Desc -> `Desc in
+        let sort p =
+          match order_by with
+          | [] -> p
+          | keys -> Sort (List.map (fun (c, d) -> (c, dir d)) keys, p)
+        in
         let p = Scan from in
         let p = match where with None -> p | Some e -> Select (e, p) in
-        let p =
+        (* Plain projections sort below the Project node so ORDER BY may
+           use columns the SELECT list drops; aggregates sort above,
+           over their output columns. *)
+        let p, sorted =
           match columns with
-          | Sql_ast.Star -> p
-          | Sql_ast.Columns cs -> Project (cs, p)
-          | Sql_ast.Count -> Count p
-          | Sql_ast.Group_count cols -> Group_count (cols, p)
+          | Sql_ast.Star -> (sort p, true)
+          | Sql_ast.Columns cs -> (Project (cs, sort p), true)
+          | Sql_ast.Count -> (Count p, false)
+          | Sql_ast.Group_count cols -> (Group_count (cols, p), false)
         in
-        if distinct then Distinct p else p
+        let p = if distinct then Distinct p else p in
+        let p = if sorted then p else sort p in
+        (match limit with None -> p | Some n -> Limit (n, p))
     | Sql_ast.Union (a, b) -> Union (go a, go b)
     | Sql_ast.Except (a, b) -> Except (go a, go b)
     | Sql_ast.Intersect (a, b) -> Intersect (go a, go b)
@@ -41,7 +54,9 @@ let rec simplify_predicate (e : Expr.t) : Expr.t =
       if Value.equal a b then Expr.True else Expr.False
   | Expr.Neq (Expr.Const a, Expr.Const b) ->
       if Value.equal a b then Expr.False else Expr.True
-  | Expr.Eq _ | Expr.Neq _ -> e
+  | Expr.Cmp (op, Expr.Const a, Expr.Const b) ->
+      if Expr.cmp_holds op (Value.order a b) then Expr.True else Expr.False
+  | Expr.Eq _ | Expr.Neq _ | Expr.Cmp _ -> e
   | Expr.In (_, []) -> Expr.False
   | Expr.In (Expr.Const a, vs) ->
       if List.exists (Value.equal a) vs then Expr.True else Expr.False
@@ -111,6 +126,15 @@ let rec rewrite p =
       | Empty cols -> Empty cols
       | Distinct deeper -> Distinct deeper
       | inner -> Distinct inner)
+  | Sort (keys, inner) -> (
+      match rewrite inner with
+      | Empty cols -> Empty cols
+      | inner -> Sort (keys, inner))
+  | Limit (n, inner) -> (
+      match rewrite inner, schema_hint inner with
+      | Empty cols, _ -> Empty cols
+      | _, Some cols when n = 0 -> Empty cols
+      | inner, _ -> Limit (n, inner))
   | Count inner -> Count (rewrite inner)
   | Group_count (cols, inner) -> Group_count (cols, rewrite inner)
   | Union (a, b) -> (
@@ -132,7 +156,7 @@ let rec rewrite p =
 and schema_hint = function
   | Project (cols, _) | Empty cols -> Some cols
   | Scan _ -> None
-  | Select (_, p) | Distinct p -> schema_hint p
+  | Select (_, p) | Distinct p | Sort (_, p) | Limit (_, p) -> schema_hint p
   | Union (a, b) | Except (a, b) | Intersect (a, b) -> (
       match schema_hint a with Some c -> Some c | None -> schema_hint b)
   | Count _ -> Some [ "count" ]
@@ -153,6 +177,8 @@ let rec execute db p =
       Ops.select ~funcs:(Database.functions db) e (execute db inner)
   | Project (cols, inner) -> Ops.project cols (execute db inner)
   | Distinct inner -> Table.distinct (execute db inner)
+  | Sort (keys, inner) -> Ops.order_by keys (execute db inner)
+  | Limit (n, inner) -> Ops.limit n (execute db inner)
   | Count inner ->
       Table.of_rows ~name:"<count>"
         (Schema.of_list [ "count" ])
@@ -185,6 +211,15 @@ let explain p =
         pr "project [%s]" (String.concat ", " cols);
         go (indent + 2) inner
     | Distinct inner -> pr "distinct"; go (indent + 2) inner
+    | Sort (keys, inner) ->
+        pr "sort [%s]"
+          (String.concat ", "
+             (List.map
+                (fun (c, d) ->
+                  c ^ match d with `Asc -> "" | `Desc -> " desc")
+                keys));
+        go (indent + 2) inner
+    | Limit (n, inner) -> pr "limit %d" n; go (indent + 2) inner
     | Count inner -> pr "count"; go (indent + 2) inner
     | Group_count (cols, inner) ->
         pr "group count by [%s]" (String.concat ", " cols);

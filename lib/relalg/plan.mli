@@ -16,6 +16,9 @@ type t =
   | Select of Expr.t * t
   | Project of string list * t
   | Distinct of t
+  | Sort of (string * [ `Asc | `Desc ]) list * t
+      (** stable sort by columns under {!Value.order} *)
+  | Limit of int * t  (** first [n] rows in current order *)
   | Union of t * t
   | Except of t * t
   | Intersect of t * t

@@ -4,11 +4,15 @@ type projection =
   | Count
   | Group_count of string list
 
+type order = Asc | Desc
+
 type select = {
   distinct : bool;
   columns : projection;
   from : string;
   where : Expr.t option;
+  order_by : (string * order) list;
+  limit : int option;
 }
 
 type query =
@@ -35,9 +39,21 @@ let pp_select fmt s =
   (match s.where with
   | None -> ()
   | Some e -> Format.fprintf fmt " where %a" Expr.pp e);
-  match s.columns with
+  (match s.columns with
   | Group_count cs -> Format.fprintf fmt " group by %s" (String.concat ", " cs)
-  | Star | Columns _ | Count -> ()
+  | Star | Columns _ | Count -> ());
+  (match s.order_by with
+  | [] -> ()
+  | keys ->
+      Format.fprintf fmt " order by %s"
+        (String.concat ", "
+           (List.map
+              (fun (col, dir) ->
+                col ^ match dir with Asc -> "" | Desc -> " desc")
+              keys)));
+  match s.limit with
+  | None -> ()
+  | Some n -> Format.fprintf fmt " limit %d" n
 
 let rec pp_query fmt = function
   | Select s -> pp_select fmt s

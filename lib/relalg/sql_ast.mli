@@ -16,11 +16,18 @@ type projection =
       (** [SELECT c1, …, COUNT] with [GROUP BY c1, …]: one row per
           distinct key, with a trailing [count] column *)
 
+type order = Asc | Desc
+
 type select = {
   distinct : bool;
   columns : projection;
   from : string;
   where : Expr.t option;
+  order_by : (string * order) list;
+      (** [ORDER BY c1 [ASC|DESC], …]; sorts under {!Value.order} after
+          projection (and after the grouped count, so [count] is
+          orderable) *)
+  limit : int option;  (** [LIMIT n], applied after ordering *)
 }
 
 type query =

@@ -7,7 +7,7 @@ let obs_counter name = Obs.Metrics.counter (Lazy.force obs_reg) name
 
 let rec run_query db (q : Sql_ast.query) =
   match q with
-  | Select { distinct; columns; from; where } ->
+  | Select { distinct; columns; from; where; order_by; limit } ->
       let table =
         match Database.find_opt db from with
         | Some t -> t
@@ -18,35 +18,59 @@ let rec run_query db (q : Sql_ast.query) =
         | None -> table
         | Some pred -> Ops.select ~funcs:(Database.functions db) pred table
       in
-      let table =
+      let dir = function Sql_ast.Asc -> `Asc | Sql_ast.Desc -> `Desc in
+      let sort t =
+        match order_by with
+        | [] -> t
+        | keys -> Ops.order_by (List.map (fun (c, d) -> (c, dir d)) keys) t
+      in
+      (* Plain projections sort {e upstream}, so ORDER BY may use
+         columns the SELECT list drops (projection preserves row
+         order).  Aggregates sort downstream, over their output columns
+         ([count] included). *)
+      let table, sorted =
         match columns with
-        | Sql_ast.Star -> table
-        | Sql_ast.Columns cols -> Ops.project cols table
+        | Sql_ast.Star -> (sort table, true)
+        | Sql_ast.Columns cols -> (Ops.project cols (sort table), true)
         | Sql_ast.Count ->
-            Table.of_rows ~name:"<count>"
-              (Schema.of_list [ "count" ])
-              [ [| Value.Int (Table.cardinality table) |] ]
+            ( Table.of_rows ~name:"<count>"
+                (Schema.of_list [ "count" ])
+                [ [| Value.Int (Table.cardinality table) |] ],
+              false )
         | Sql_ast.Group_count cols ->
             let groups = Ops.group_count ~by:cols table in
-            Table.of_rows ~name:"<group>"
-              (Schema.of_list (cols @ [ "count" ]))
-              (List.map
-                 (fun (key, n) -> Array.append key [| Value.Int n |])
-                 groups)
+            ( Table.of_rows ~name:"<group>"
+                (Schema.of_list (cols @ [ "count" ]))
+                (List.map
+                   (fun (key, n) -> Array.append key [| Value.Int n |])
+                   groups),
+              false )
       in
       let table = if distinct then Table.distinct table else table in
+      let table = if sorted then table else sort table in
+      let table =
+        match limit with None -> table | Some n -> Ops.limit n table
+      in
       Table.with_name "<query>" table
   | Union (a, b) -> Ops.union (run_query db a) (run_query db b)
   | Except (a, b) -> Ops.except (run_query db a) (run_query db b)
   | Intersect (a, b) -> Ops.intersect (run_query db a) (run_query db b)
 
+(* sys.* tables are engine-materialized snapshots: readable like any
+   table, but not a valid target for DDL/DML. *)
+let check_writable name =
+  if Database.is_system_name name then
+    error "%s is a read-only system table (the sys. prefix is reserved)" name
+
 let run_statement db (s : Sql_ast.statement) =
   match s with
   | Query q -> db, Some (run_query db q)
   | Create_table_as (name, q) ->
+      check_writable name;
       let t = Table.with_name name (run_query db q) in
       Database.replace db t, Some t
   | Insert (name, rows) ->
+      check_writable name;
       let t =
         match Database.find_opt db name with
         | Some t -> t
@@ -55,6 +79,7 @@ let run_statement db (s : Sql_ast.statement) =
       let t = Table.add_all t (List.map Row.of_list rows) in
       Database.replace db t, None
   | Drop_table name ->
+      check_writable name;
       if not (Database.mem db name) then error "unknown table %s" name;
       Database.remove db name, None
 

@@ -2,6 +2,7 @@ type token =
   | IDENT of string
   | STRING of string
   | INT of int
+  | FLOAT of float
   | KW of string
   | LPAREN
   | RPAREN
@@ -9,6 +10,10 @@ type token =
   | STAR
   | EQ
   | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
   | QUESTION
   | COLON
   | SEMI
@@ -20,7 +25,8 @@ let keywords =
   [
     "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "IN"; "CREATE";
     "TABLE"; "AS"; "INSERT"; "INTO"; "VALUES"; "UNION"; "EXCEPT"; "INTERSECT";
-    "NULL"; "TRUE"; "FALSE"; "DROP"; "EMPTY"; "GROUP"; "BY";
+    "NULL"; "TRUE"; "FALSE"; "DROP"; "EMPTY"; "GROUP"; "BY"; "ORDER";
+    "LIMIT"; "ASC"; "DESC";
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -52,7 +58,13 @@ let tokenize src =
       else if is_digit c then begin
         let j = ref i in
         while !j < n && is_digit src.[!j] do incr j done;
-        emit (INT (int_of_string (String.sub src i (!j - i))));
+        if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1]
+        then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do incr j done;
+          emit (FLOAT (float_of_string (String.sub src i (!j - i))))
+        end
+        else emit (INT (int_of_string (String.sub src i (!j - i))));
         go !j
       end
       else
@@ -95,6 +107,10 @@ let tokenize src =
         | ';' -> emit SEMI; go (i + 1)
         | '<' when i + 1 < n && src.[i + 1] = '>' -> emit NEQ; go (i + 2)
         | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NEQ; go (i + 2)
+        | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; go (i + 2)
+        | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; go (i + 2)
+        | '<' -> emit LT; go (i + 1)
+        | '>' -> emit GT; go (i + 1)
         | _ -> error i (Printf.sprintf "illegal character %C" c)
   in
   go 0;
@@ -104,6 +120,7 @@ let pp_token fmt = function
   | IDENT s -> Format.fprintf fmt "ident %s" s
   | STRING s -> Format.fprintf fmt "string %S" s
   | INT i -> Format.fprintf fmt "int %d" i
+  | FLOAT f -> Format.fprintf fmt "float %s" (Value.float_repr f)
   | KW k -> Format.pp_print_string fmt k
   | LPAREN -> Format.pp_print_string fmt "("
   | RPAREN -> Format.pp_print_string fmt ")"
@@ -111,6 +128,10 @@ let pp_token fmt = function
   | STAR -> Format.pp_print_string fmt "*"
   | EQ -> Format.pp_print_string fmt "="
   | NEQ -> Format.pp_print_string fmt "<>"
+  | LT -> Format.pp_print_string fmt "<"
+  | LE -> Format.pp_print_string fmt "<="
+  | GT -> Format.pp_print_string fmt ">"
+  | GE -> Format.pp_print_string fmt ">="
   | QUESTION -> Format.pp_print_string fmt "?"
   | COLON -> Format.pp_print_string fmt ":"
   | SEMI -> Format.pp_print_string fmt ";"

@@ -9,6 +9,7 @@ type token =
   | IDENT of string
   | STRING of string
   | INT of int
+  | FLOAT of float  (** [digits.digits] only — no exponent form *)
   | KW of string  (** uppercased keyword: SELECT, FROM, WHERE, … *)
   | LPAREN
   | RPAREN
@@ -16,6 +17,10 @@ type token =
   | STAR
   | EQ
   | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
   | QUESTION
   | COLON
   | SEMI

@@ -35,6 +35,7 @@ let literal c =
   match next c with
   | STRING s -> Value.Str s
   | INT i -> Value.Int i
+  | FLOAT f -> Value.Float f
   | KW "NULL" -> Value.Null
   | KW "TRUE" -> Value.Bool true
   | KW "FALSE" -> Value.Bool false
@@ -43,7 +44,8 @@ let literal c =
 let operand c =
   match peek c with
   | IDENT s -> advance c; Expr.Col s
-  | STRING _ | INT _ | KW ("NULL" | "TRUE" | "FALSE") -> Expr.Const (literal c)
+  | STRING _ | INT _ | FLOAT _ | KW ("NULL" | "TRUE" | "FALSE") ->
+      Expr.Const (literal c)
   | t -> error "expected operand, got %s" (Format.asprintf "%a" pp_token t)
 
 let literal_list c =
@@ -100,16 +102,26 @@ and atom c =
       comparison c left
 
 and comparison c left =
-  match next c with
-  | EQ -> Expr.Eq (left, operand c)
-  | NEQ -> Expr.Neq (left, operand c)
-  | KW "IN" -> Expr.In (left, literal_list c)
+  match peek c with
+  | EQ -> advance c; Expr.Eq (left, operand c)
+  | NEQ -> advance c; Expr.Neq (left, operand c)
+  | LT -> advance c; Expr.Cmp (Expr.Lt, left, operand c)
+  | LE -> advance c; Expr.Cmp (Expr.Le, left, operand c)
+  | GT -> advance c; Expr.Cmp (Expr.Gt, left, operand c)
+  | GE -> advance c; Expr.Cmp (Expr.Ge, left, operand c)
+  | KW "IN" -> advance c; Expr.In (left, literal_list c)
   | KW "NOT" ->
+      advance c;
       expect c (KW "IN");
       Expr.Not (Expr.In (left, literal_list c))
-  | t ->
-      error "expected comparison operator, got %s"
-        (Format.asprintf "%a" pp_token t)
+  | t -> (
+      (* No operator: a bare column is a boolean test, as in
+         [WHERE NOT covered] over the sys.* telemetry tables. *)
+      match left with
+      | Expr.Col _ -> Expr.Eq (left, Expr.Const (Value.Bool true))
+      | Expr.Const _ ->
+          error "expected comparison operator, got %s"
+            (Format.asprintf "%a" pp_token t))
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -182,7 +194,35 @@ and simple_query c =
             error "GROUP BY keys (%s) must match the projected columns (%s)"
               (String.concat ", " by) (String.concat ", " cols)
       | Sql_ast.Star | Sql_ast.Columns _ | Sql_ast.Count -> ());
-      Sql_ast.Select { distinct; columns; from; where }
+      let order_by =
+        if accept c (KW "ORDER") then begin
+          expect c (KW "BY");
+          let rec keys acc =
+            let col = expect_ident c in
+            let dir =
+              if accept c (KW "DESC") then Sql_ast.Desc
+              else begin
+                ignore (accept c (KW "ASC"));
+                Sql_ast.Asc
+              end
+            in
+            if accept c COMMA then keys ((col, dir) :: acc)
+            else List.rev ((col, dir) :: acc)
+          in
+          keys []
+        end
+        else []
+      in
+      let limit =
+        if accept c (KW "LIMIT") then
+          match next c with
+          | INT n when n >= 0 -> Some n
+          | t ->
+              error "expected row count after LIMIT, got %s"
+                (Format.asprintf "%a" pp_token t)
+        else None
+      in
+      Sql_ast.Select { distinct; columns; from; where; order_by; limit }
   | t -> error "expected SELECT, got %s" (Format.asprintf "%a" pp_token t)
 
 (* ------------------------------------------------------------------ *)

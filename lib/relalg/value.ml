@@ -1,4 +1,9 @@
-type t = Null | Str of string | Int of int | Bool of bool
+type t =
+  | Null
+  | Str of string
+  | Int of int
+  | Bool of bool
+  | Float of float
 
 let equal a b =
   match a, b with
@@ -6,37 +11,66 @@ let equal a b =
   | Str x, Str y -> String.equal x y
   | Int x, Int y -> Int.equal x y
   | Bool x, Bool y -> Bool.equal x y
-  | (Null | Str _ | Int _ | Bool _), _ -> false
+  | Float x, Float y -> Float.equal x y
+  | (Null | Str _ | Int _ | Bool _ | Float _), _ -> false
 
-let rank = function Null -> 0 | Bool _ -> 1 | Int _ -> 2 | Str _ -> 3
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
 
 let compare a b =
   match a, b with
   | Null, Null -> 0
   | Bool x, Bool y -> Bool.compare x y
   | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
   | Str x, Str y -> String.compare x y
   | _ -> Int.compare (rank a) (rank b)
+
+(* Numeric-aware ordering for SQL comparison predicates and ORDER BY:
+   Int and Float compare by magnitude, everything else falls back to
+   the strict total order.  Kept separate from [compare] so sorting and
+   set-like dedup stay consistent with [equal] (where Int 1 <> Float 1.). *)
+let order a b =
+  match a, b with
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | _ -> compare a b
 
 let hash = function
   | Null -> 0
   | Bool b -> if b then 17 else 19
   | Int i -> 23 * i + 5
+  | Float f -> 29 * Hashtbl.hash f + 11
   | Str s -> 31 * Hashtbl.hash s + 7
 
-let is_null = function Null -> true | Str _ | Int _ | Bool _ -> false
+let is_null = function
+  | Null -> true
+  | Str _ | Int _ | Bool _ | Float _ -> false
+
 let str s = Str s
+
+(* Floats always render with a decimal point (or exponent) so they can
+   never collide with an Int rendering and survive CSV round-trips. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
 
 let to_string = function
   | Null -> "-"
   | Str s -> s
   | Int i -> string_of_int i
   | Bool b -> string_of_bool b
+  | Float f -> float_repr f
 
 let to_sql = function
   | Null -> "NULL"
   | Str s -> "'" ^ s ^ "'"
   | Int i -> string_of_int i
   | Bool b -> if b then "TRUE" else "FALSE"
+  | Float f -> float_repr f
 
 let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -13,13 +13,24 @@ type t =
   | Str of string  (** symbolic constant, e.g. ["readex"], ["Busy-sd"] *)
   | Int of int  (** numeric constant, e.g. a queue capacity *)
   | Bool of bool  (** boolean constant *)
+  | Float of float
+      (** measured quantity (durations, speedups, percentiles) — carried
+          by the [sys.*] telemetry tables, not by protocol columns *)
 
 val equal : t -> t -> bool
 (** Structural equality; [equal Null Null = true]. *)
 
 val compare : t -> t -> int
 (** Total order used for sorting and set-like table operations.  [Null] is
-    smallest; then [Bool], [Int], [Str]. *)
+    smallest; then [Bool], [Int], [Float], [Str]. *)
+
+val order : t -> t -> int
+(** Numeric-aware ordering used by SQL comparison predicates ([<], [>=],
+    …) and [ORDER BY]: [Int] and [Float] compare by magnitude
+    ([order (Int 1) (Float 1.) = 0]), everything else falls back to
+    {!compare}.  Deliberately inconsistent with {!equal} across the
+    Int/Float divide, which is why sorting/dedup keep using
+    {!compare}. *)
 
 val hash : t -> int
 (** Hash consistent with {!equal}. *)
@@ -28,6 +39,11 @@ val is_null : t -> bool
 
 val str : string -> t
 (** [str s] is [Str s]. *)
+
+val float_repr : float -> string
+(** Canonical rendering of a float cell: integral values keep a trailing
+    [.0] (so [Float 2.] never reads back as [Int 2]), others print with
+    enough digits to round-trip. *)
 
 val to_string : t -> string
 (** Rendering used in table printouts and generated reports; [Null] prints

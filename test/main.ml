@@ -25,4 +25,5 @@ let () =
       "sequence-charts", Test_msc.suite;
       "transaction-walkthroughs", Test_walkthrough.suite;
       "coverage-and-manifests", Test_coverage.suite;
+      "system-tables", Test_systables.suite;
     ]

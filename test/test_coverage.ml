@@ -390,8 +390,9 @@ let synthetic_manifest () =
 
 let test_runreport_round_trip () =
   match Obs.Runreport.collect [ "run-a.json", synthetic_manifest () ] with
-  | Error msg -> Alcotest.fail msg
-  | Ok agg ->
+  | _, (label, reason) :: _ ->
+      Alcotest.fail (Printf.sprintf "%s skipped: %s" label reason)
+  | agg, [] ->
       let cov = Obs.Runreport.coverage agg in
       check_int "two tables" 2 (List.length cov);
       let b =
@@ -424,12 +425,28 @@ let test_runreport_round_trip () =
       check "html has a table" true (contains html "<table>")
 
 let test_runreport_rejects_unknown_schema () =
-  match
+  (* A malformed document is skipped with a warning, not classified and
+     not fatal: healthy documents in the same batch still aggregate. *)
+  let agg, skipped =
     Obs.Runreport.collect
-      [ "bad.json", Obs.Json.Obj [ "schema", Obs.Json.Str "nonsense/9" ] ]
-  with
-  | Ok _ -> Alcotest.fail "unknown schema accepted"
-  | Error msg -> check "error names the file" true (String.length msg > 0)
+      [
+        "bad.json", Obs.Json.Obj [ "schema", Obs.Json.Str "nonsense/9" ];
+        "run-a.json", synthetic_manifest ();
+      ]
+  in
+  check_int "one document skipped" 1 (List.length skipped);
+  (match skipped with
+  | [ (label, reason) ] ->
+      check "warning names the file" true (label = "bad.json");
+      check "warning has a reason" true (String.length reason > 0)
+  | _ -> Alcotest.fail "expected exactly one skip warning");
+  check "healthy manifest survives" false (Obs.Runreport.is_empty agg);
+  check_int "healthy run collected" 1 (List.length agg.Obs.Runreport.runs);
+  let all_bad, skipped2 =
+    Obs.Runreport.collect [ "only-bad.json", Obs.Json.Obj [] ]
+  in
+  check "all-bad aggregate is empty" true (Obs.Runreport.is_empty all_bad);
+  check_int "all-bad everything skipped" 1 (List.length skipped2)
 
 let suite =
   [

@@ -120,6 +120,80 @@ let roundtrip_queries =
     "SELECT * FROM D WHERE NOT (inmsg = 'wb' OR dirst = 'I')";
   ]
 
+(* Ordered comparisons, ORDER BY, LIMIT, float literals and bare boolean
+   predicates — the extensions the sys. system tables lean on. *)
+let ndb =
+  Database.add Database.empty
+    (Table.of_rows ~name:"T"
+       (Schema.of_list [ "name"; "n"; "x"; "ok" ])
+       [
+         [| Value.str "a"; Value.Int 3; Value.Float 0.5; Value.Bool true |];
+         [| Value.str "b"; Value.Int 1; Value.Float 2.5; Value.Bool false |];
+         [| Value.str "c"; Value.Int 2; Value.Float 1.5; Value.Bool true |];
+       ])
+
+let nq src = Sql_exec.query ndb src
+
+let names t =
+  List.rev (Table.fold (fun acc r -> Table.cell t r "name" :: acc) [] t)
+
+let strs l = List.map Value.str l
+
+let test_order_limit () =
+  Alcotest.(check bool)
+    "order by int" true
+    (names (nq "SELECT name FROM T ORDER BY n") = strs [ "b"; "c"; "a" ]);
+  Alcotest.(check bool)
+    "order by desc + limit" true
+    (names (nq "SELECT name FROM T ORDER BY x DESC LIMIT 2")
+    = strs [ "b"; "c" ]);
+  check_int "limit 0" 0 (Table.cardinality (nq "SELECT * FROM T LIMIT 0"));
+  check_int "limit beyond cardinality" 3
+    (Table.cardinality (nq "SELECT * FROM T LIMIT 99"));
+  Alcotest.(check bool)
+    "multi-key order" true
+    (names (nq "SELECT name FROM T ORDER BY ok DESC, n ASC")
+    = strs [ "c"; "a"; "b" ])
+
+let test_comparisons () =
+  check_int "gt" 2 (Table.cardinality (nq "SELECT * FROM T WHERE n > 1"));
+  check_int "le" 2 (Table.cardinality (nq "SELECT * FROM T WHERE n <= 2"));
+  check_int "float literal" 2
+    (Table.cardinality (nq "SELECT * FROM T WHERE x >= 1.5"));
+  (* ints and floats compare numerically under Value.order *)
+  check_int "int column vs float literal" 1
+    (Table.cardinality (nq "SELECT * FROM T WHERE n < 1.5"));
+  check_int "string ordering" 2
+    (Table.cardinality (nq "SELECT * FROM T WHERE name > 'a'"))
+
+let test_bare_bool () =
+  check_int "bare boolean column" 2
+    (Table.cardinality (nq "SELECT * FROM T WHERE ok"));
+  check_int "negated bare boolean" 1
+    (Table.cardinality (nq "SELECT * FROM T WHERE NOT ok"));
+  check_int "bare boolean in conjunction" 1
+    (Table.cardinality (nq "SELECT * FROM T WHERE ok AND n > 2"))
+
+let test_sys_writes_rejected () =
+  let rejected stmt =
+    try
+      ignore (Sql_exec.exec ndb stmt);
+      false
+    with Sql_exec.Exec_error msg ->
+      (* the diagnostic names the reservation, not a generic failure *)
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      contains msg "read-only system table"
+  in
+  check "create rejected" true
+    (rejected "CREATE TABLE sys.mine AS SELECT * FROM T");
+  check "insert rejected" true
+    (rejected "INSERT INTO sys.mine VALUES ('a')");
+  check "drop rejected" true (rejected "DROP TABLE sys.runs")
+
 let test_reparse_stability () =
   (* parse, print, reparse: same result table *)
   List.iter
@@ -141,6 +215,10 @@ let suite =
     Alcotest.test_case "create/insert/drop" `Quick test_create_insert_drop;
     Alcotest.test_case "emptiness checks" `Quick test_is_empty;
     Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "order by / limit" `Quick test_order_limit;
+    Alcotest.test_case "ordered comparisons" `Quick test_comparisons;
+    Alcotest.test_case "bare boolean predicates" `Quick test_bare_bool;
+    Alcotest.test_case "sys. writes rejected" `Quick test_sys_writes_rejected;
     Alcotest.test_case "parse predicate" `Quick test_parse_predicate;
     Alcotest.test_case "print/reparse stability" `Quick test_reparse_stability;
   ]

@@ -1,0 +1,269 @@
+(* The sys.* system tables: live snapshots, manifest ingestion, the
+   SQL-vs-report coverage parity the feature promises, and scheduling
+   determinism of the snapshots. *)
+
+open Relalg
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let small_cfg =
+  {
+    Mcheck.Semantics.nodes = 2;
+    addrs = 1;
+    ops = [ "load"; "store" ];
+    capacity = 3;
+    io_addrs = [];
+    lossy = false;
+  }
+
+(* Explore the full (small) state space with coverage armed; the budget
+   is far above the 2.4k reachable states, so the fired-transition set
+   is schedule-independent.  [clear] (not [reset]) first: earlier suites
+   register seeded-bug table variants whose shapes would otherwise leak
+   into the snapshot; the fresh [load_tables] re-registers the real
+   ones. *)
+let explore_with_coverage ~domains () =
+  Obs.Coverage.clear ();
+  Obs.Coverage.with_enabled (fun () ->
+      Par.Pool.with_domains domains (fun () ->
+          ignore
+            (Mcheck.Explore.run ~max_states:50_000
+               ~tables:(Mcheck.Semantics.load_tables ()) small_cfg)))
+
+(* ---------------------- sys.coverage golden rows ---------------------- *)
+
+let test_coverage_golden () =
+  explore_with_coverage ~domains:1 ();
+  let snap = Obs.Coverage.snapshot () in
+  check "mcheck registered coverage" true (snap <> []);
+  let t = Systables.coverage () in
+  Obs.Coverage.clear ();
+  (* one row per controller-table row, across every registered table *)
+  let total =
+    List.fold_left
+      (fun acc (tc : Obs.Coverage.table_coverage) -> acc + tc.rows)
+      0 snap
+  in
+  check_int "one sys.coverage row per table row" total (Table.cardinality t);
+  (* the bitmaps were recorded against the figure-4 controller tables,
+     so each registered name resolves and its row count is the golden
+     generated-table cardinality — and every row decodes *)
+  List.iter
+    (fun (tc : Obs.Coverage.table_coverage) ->
+      match Protocol.find tc.name with
+      | None -> Alcotest.failf "unknown controller %s in coverage" tc.name
+      | Some c ->
+          check_int
+            (tc.name ^ " rows match the generated table")
+            (Table.cardinality (Protocol.Ctrl_spec.table c.Protocol.spec))
+            tc.rows)
+    snap;
+  Table.iter
+    (fun row ->
+      match row.(3) with
+      | Value.Str _ -> ()
+      | v ->
+          Alcotest.failf "row did not decode: %s"
+            (Format.asprintf "%a" Value.pp v))
+    t;
+  (* parity with the report: uncovered counts computed by SQL equal the
+     bitmap arithmetic asura report renders *)
+  let db = Database.add_system Database.empty t in
+  let counted =
+    Table.fold
+      (fun acc row ->
+        match (row.(0), row.(1)) with
+        | Value.Str name, Value.Int n -> (name, n) :: acc
+        | _ -> acc)
+      []
+      (Sql_exec.query db
+         "SELECT table_name, COUNT(*) FROM sys.coverage WHERE NOT covered \
+          GROUP BY table_name")
+  in
+  List.iter
+    (fun (tc : Obs.Coverage.table_coverage) ->
+      let uncovered = tc.rows - tc.covered in
+      let got = Option.value ~default:0 (List.assoc_opt tc.name counted) in
+      check_int (tc.name ^ " uncovered via SQL") uncovered got)
+    snap
+
+(* ----------------- scheduling determinism of snapshots ---------------- *)
+
+let test_domains_bit_identical () =
+  explore_with_coverage ~domains:1 ();
+  let t1 = Systables.coverage () in
+  explore_with_coverage ~domains:4 ();
+  let t4 = Systables.coverage () in
+  Obs.Coverage.clear ();
+  check_str "sys.coverage identical at 1 and 4 domains" (Table.to_string t1)
+    (Table.to_string t4);
+  check_str "JSON dump identical too"
+    (Obs.Json.to_string (Systables.table_to_json t1))
+    (Obs.Json.to_string (Systables.table_to_json t4))
+
+(* ------------------------- sys.spans parents -------------------------- *)
+
+let test_span_parents () =
+  Obs.Config.with_enabled (fun () ->
+      Obs.Trace.reset ();
+      Obs.Trace.with_span "outer" (fun () ->
+          Obs.Trace.with_span "mid" (fun () ->
+              Obs.Trace.with_span "inner" (fun () -> ()));
+          Obs.Trace.with_span "sibling" (fun () -> ()));
+      let t = Systables.spans () in
+      Obs.Trace.reset ();
+      let parent_of name =
+        Table.fold
+          (fun acc row ->
+            if row.(0) = Value.Str name then Some row.(2) else acc)
+          None t
+      in
+      check "outer is a root" true (parent_of "outer" = Some Value.Null);
+      check "mid under outer" true (parent_of "mid" = Some (Value.Str "outer"));
+      check "inner under mid" true (parent_of "inner" = Some (Value.Str "mid"));
+      check "sibling under outer" true
+        (parent_of "sibling" = Some (Value.Str "outer")))
+
+(* ------------------- manifest -> sys.runs round trip ------------------ *)
+
+(* Floats are drawn as n/16 so the JSON printer/parser round-trips them
+   exactly. *)
+let gen_manifest =
+  QCheck2.Gen.(
+    let name = oneofl [ "mcheck"; "invariants"; "deadlock"; "simulate" ] in
+    let q16 = map (fun n -> float_of_int n /. 16.) (int_range 0 4096) in
+    let rev = option (oneofl [ "abc123"; "deadbeef" ]) in
+    map
+      (fun (((cmd, rev), (elapsed, sps)), (covered, rows)) ->
+        let pct =
+          if rows = 0 then 100.
+          else float_of_int covered *. 100. /. float_of_int rows
+        in
+        ( cmd,
+          rev,
+          elapsed,
+          sps,
+          covered,
+          rows,
+          Obs.Json.Obj
+            ([
+               ("schema", Obs.Json.Str "asura-run/1");
+               ("cmd", Obs.Json.Str cmd);
+               ("argv", Obs.Json.List [ Obs.Json.Str "asura"; Obs.Json.Str cmd ]);
+               ("date", Obs.Json.Str "2026-08-08T00:00:00Z");
+             ]
+            @ (match rev with
+              | Some r -> [ ("git_rev", Obs.Json.Str r) ]
+              | None -> [])
+            @ [
+                ("elapsed_s", Obs.Json.Float elapsed);
+                ( "coverage",
+                  Obs.Json.Obj
+                    [
+                      ("covered", Obs.Json.Int covered);
+                      ("rows", Obs.Json.Int rows);
+                      ("percent", Obs.Json.Float pct);
+                    ] );
+                ( "metrics",
+                  Obs.Json.Obj
+                    [
+                      ( "mcheck",
+                        Obs.Json.Obj
+                          [
+                            ( "gauges",
+                              Obs.Json.Obj
+                                [
+                                  ( "states_per_sec",
+                                    Obs.Json.Obj
+                                      [
+                                        ("value", Obs.Json.Float sps);
+                                        ("max", Obs.Json.Float sps);
+                                      ] );
+                                ] );
+                          ] );
+                    ] );
+              ]) ))
+      (pair
+         (pair (pair name rev) (pair q16 q16))
+         (pair (int_range 0 64) (int_range 64 128))))
+
+let prop_manifest_roundtrip =
+  QCheck2.Test.make ~count:50 ~name:"manifest -> sys.runs -> JSON round trip"
+    gen_manifest
+    (fun (cmd, rev, elapsed, sps, covered, rows, doc) ->
+      (* the manifest itself must survive print/parse *)
+      let doc = Obs.Json.parse_exn (Obs.Json.to_string doc) in
+      let t = Systables.runs [ ("m.json", doc) ] in
+      let cell col = Table.cell t (Table.get t 0) col in
+      Table.cardinality t = 1
+      && cell "file" = Value.Str "m.json"
+      && cell "cmd" = Value.Str cmd
+      && cell "argv" = Value.Str ("asura " ^ cmd)
+      && cell "git_rev"
+         = (match rev with Some r -> Value.Str r | None -> Value.Null)
+      && cell "elapsed_s" = Value.Float elapsed
+      && cell "covered" = Value.Int covered
+      && cell "rows" = Value.Int rows
+      && cell "states_per_sec" = Value.Float sps
+      &&
+      (* and the whole table survives the JSON dump *)
+      let j =
+        Obs.Json.parse_exn
+          (Obs.Json.to_string (Systables.table_to_json t))
+      in
+      match Option.bind (Obs.Json.member "rows" j) Obs.Json.to_list with
+      | Some [ Obs.Json.List cells ] ->
+          List.mem (Obs.Json.Str cmd) cells
+          && List.mem (Obs.Json.Float elapsed) cells
+      | _ -> false)
+
+(* ------------------------------ sys.bench ----------------------------- *)
+
+let bench_doc =
+  Obs.Json.parse_exn
+    {|{"schema":"asura-bench/3","date":"2026-08-08",
+       "pairs":[{"name":"gen","seq_ns":100.0,"par_ns":50.0,"domains":4,"speedup":2.0},
+                {"name":"dead","seq_ns":100.0,"par_ns":200.0,"domains":4,"speedup":0.5}],
+       "representation":[{"name":"scan","columnar_ns":10.0,"listrep_ns":40.0,"speedup":4.0}]}|}
+
+let test_bench_regressions () =
+  let t = Systables.bench [ ("b.json", bench_doc) ] in
+  check_int "three bench rows" 3 (Table.cardinality t);
+  let db = Database.add_system Database.empty t in
+  let reg =
+    Sql_exec.query db
+      "SELECT name, speedup FROM sys.bench WHERE regression ORDER BY speedup"
+  in
+  check_int "one regression" 1 (Table.cardinality reg);
+  check "the sub-1.0 pair" true
+    (Table.cell reg (Table.get reg 0) "name" = Value.Str "dead")
+
+(* --------------------------- namespace guard -------------------------- *)
+
+let test_sys_prefix_reserved () =
+  let t = Table.create ~name:"sys.mine" (Schema.of_list [ "a" ]) in
+  check "user add rejected" true
+    (try
+       ignore (Database.add Database.empty t);
+       false
+     with Database.Reserved_name _ -> true);
+  check "system add allowed" true
+    (Database.mem (Database.add_system Database.empty t) "sys.mine");
+  check "mentions_sys positive" true
+    (Systables.mentions_sys "SELECT * FROM sys.runs");
+  check "mentions_sys is word-anchored" false
+    (Systables.mentions_sys "SELECT * FROM analysys.runs")
+
+let suite =
+  [
+    Alcotest.test_case "sys.coverage golden rows" `Quick test_coverage_golden;
+    Alcotest.test_case "snapshots domain-count independent" `Quick
+      test_domains_bit_identical;
+    Alcotest.test_case "sys.spans parent reconstruction" `Quick
+      test_span_parents;
+    QCheck_alcotest.to_alcotest prop_manifest_roundtrip;
+    Alcotest.test_case "sys.bench regressions" `Quick test_bench_regressions;
+    Alcotest.test_case "sys. prefix reserved" `Quick test_sys_prefix_reserved;
+  ]
