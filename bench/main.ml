@@ -85,6 +85,45 @@ let benchmarks =
            ignore (Sim.Scenario.figure4 Checker.Vcassign.with_vc4)));
   ]
 
+(* --- exploration-core A/B pairs --------------------------------------
+   The same bounded search through explicitly pinned engines.  The
+   packed/boxed pair isolates the representation change (bit-packed
+   vectors + open addressing vs Marshal strings + Hashtbl) on one
+   domain; the steal/level pair compares the two parallel frontiers at
+   the requested degree.  Both surface in the JSON snapshot "pairs". *)
+let mcheck_engine_cfg =
+  {
+    Mcheck.Semantics.nodes = 2; addrs = 1; ops = [ "load"; "store" ];
+    capacity = 3; io_addrs = []; lossy = false;
+  }
+
+let mcheck_engine_test ~name engine =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore
+           (Mcheck.Explore.run ~max_states:5_000 ~engine
+              ~tables:(Lazy.force mcheck_tables) mcheck_engine_cfg)))
+
+let engine_baseline_benchmarks =
+  [
+    mcheck_engine_test ~name:"mcheck-2node-boxed" `Seq;
+    mcheck_engine_test ~name:"mcheck-2node-packed" `Seq_packed;
+  ]
+
+let engine_degree_benchmarks =
+  [
+    mcheck_engine_test ~name:"mcheck-2node-level" `Level;
+    mcheck_engine_test ~name:"mcheck-2node-steal" `Steal;
+  ]
+
+(* (pair name, reference measurement, candidate measurement, domains the
+   pair ran at); speedup = reference / candidate. *)
+let engine_pair_specs ~domains =
+  [
+    "mcheck-pack-vs-boxed", "mcheck-2node-boxed", "mcheck-2node-packed", 1;
+    "mcheck-steal-vs-level", "mcheck-2node-level", "mcheck-2node-steal", domains;
+  ]
+
 (* --- columnar vs list-of-rows representation ------------------------
    The storage engine keeps tables columnar and dictionary-encoded;
    [Listrep] is the list-of-rows representation it replaced.  Each
@@ -231,7 +270,9 @@ let run_benchmarks ~domains () =
      benchmarks (solver, mcheck) leave behind a large major heap whose
      collection overhead inflates these allocation-heavy sub-millisecond
      measurements several-fold if they run after. *)
-  List.concat_map (fun test -> run_one ~domains test) (rep_benchmarks @ benchmarks)
+  List.concat_map
+    (fun test -> run_one ~domains test)
+    (rep_benchmarks @ benchmarks @ engine_baseline_benchmarks)
 
 (* Seq/par A-B runs: re-measure each parallelized benchmark at the
    requested degree under a "-par" name; the baseline suite above
@@ -248,6 +289,18 @@ let run_pairs ~domains () =
       (List.filter
          (fun test -> List.mem (Test.name test) paired_names)
          benchmarks)
+  end
+
+(* The steal/level comparison needs both engines at the requested
+   degree; at one domain both degenerate to sequential search, so the
+   pair would measure nothing. *)
+let run_engine_pairs ~domains () =
+  if domains <= 1 then []
+  else begin
+    Printf.printf "\n=== exploration engines (--domains %d) ===\n%!" domains;
+    List.concat_map
+      (fun test -> run_one ~domains test)
+      engine_degree_benchmarks
   end
 
 let git_rev () =
@@ -292,6 +345,29 @@ let write_json ~domains measurements =
         | _ -> None)
       paired_names
   in
+  (* engine A/B pairs ride the same array: "seq_ns" holds the reference
+     side (boxed / level), "par_ns" the candidate (packed / steal) *)
+  let pairs =
+    pairs
+    @ List.filter_map
+        (fun (pname, ref_name, cand_name, d) ->
+          match
+            ( List.assoc_opt ref_name measurements,
+              List.assoc_opt cand_name measurements )
+          with
+          | Some ref_ns, Some cand_ns ->
+              Some
+                (Obs.Json.Obj
+                   [
+                     "name", Obs.Json.Str pname;
+                     "seq_ns", Obs.Json.Float ref_ns;
+                     "par_ns", Obs.Json.Float cand_ns;
+                     "domains", Obs.Json.Int d;
+                     "speedup", Obs.Json.Float (ref_ns /. cand_ns);
+                   ])
+          | _ -> None)
+        (engine_pair_specs ~domains)
+  in
   let representation =
     List.filter_map
       (fun (name, _, _) ->
@@ -323,7 +399,9 @@ let write_json ~domains measurements =
         with
         | Some seq_ns, Some par_ns when seq_ns /. par_ns < 1.0 ->
             let speedup = seq_ns /. par_ns in
-            Printf.printf
+            (* stderr: with --json this must never interleave with the
+               snapshot on stdout *)
+            Printf.eprintf
               "WARNING: %s: parallel run is %.2fx the sequential time \
                (speedup %.2f < 1.0 at %d domains)\n"
               name (par_ns /. seq_ns) speedup domains;
@@ -431,12 +509,15 @@ let () =
        the baseline suite is pinned to one domain so snapshots stay
        comparable across machines and settings *)
     let baseline = run_benchmarks ~domains:1 () in
-    let measurements = baseline @ run_pairs ~domains () in
+    let measurements =
+      baseline @ run_pairs ~domains () @ run_engine_pairs ~domains ()
+    in
     write_json ~domains measurements
   end
   else begin
     Printf.printf "(reproduces every table/figure of the IPPS 2003 paper)\n";
     Experiments.run_all ();
     ignore (run_benchmarks ~domains ());
-    ignore (run_pairs ~domains ())
+    ignore (run_pairs ~domains ());
+    ignore (run_engine_pairs ~domains ())
   end

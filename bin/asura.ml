@@ -483,12 +483,42 @@ let mcheck_cmd =
              message-sequence chart (the form of the paper's Figures 2 \
              and 4) instead of raw trace lines.")
   in
-  let run () nodes addrs max_states evictions depth_profile msc_flag =
+  let engine =
+    let engine_conv =
+      Arg.enum
+        [
+          "auto", `Auto; "seq", `Seq; "seq-packed", `Seq_packed;
+          "level", `Level; "steal", `Steal;
+        ]
+    in
+    Arg.(
+      value & opt engine_conv `Auto
+      & info [ "engine" ]
+          ~doc:
+            "Exploration core: $(b,auto) (default: sequential boxed at one \
+             domain, work-stealing packed otherwise), $(b,seq) (boxed \
+             reference), $(b,seq-packed) (bit-packed, single-threaded), \
+             $(b,level) (level-synchronized parallel BFS) or $(b,steal) \
+             (work-stealing packed frontier).")
+  in
+  let compact_bits =
+    Arg.(
+      value & opt (some int) None
+      & info [ "compact-bits" ] ~docv:"N"
+          ~doc:
+            "Stern-Dill hash compaction: keep only an $(docv)-bit \
+             fingerprint (8..62) per visited state.  Memory drops to the \
+             fingerprint table, but a fingerprint collision can silently \
+             merge two states, so the run is reported as probabilistic \
+             and violations carry no trace.")
+  in
+  let run () nodes addrs max_states evictions depth_profile msc_flag engine
+      compact_bits =
     let ops =
       [ "load"; "store" ] @ if evictions then [ "evictmod"; "evictsh" ] else []
     in
     let r =
-      Mcheck.Explore.run ~max_states
+      Mcheck.Explore.run ~max_states ~engine ?compact_bits
         { Mcheck.Semantics.nodes; addrs; ops; capacity = 3; io_addrs = []; lossy = false }
     in
     Format.printf "%a@." Mcheck.Explore.pp_result r;
@@ -510,7 +540,7 @@ let mcheck_cmd =
           Murphi-style baseline the paper compares against).")
     Term.(
       const run $ setup_term $ nodes $ addrs $ max_states $ evictions
-      $ depth_profile $ msc)
+      $ depth_profile $ msc $ engine $ compact_bits)
 
 (* ------------------------- system tables (sys.) ----------------------- *)
 

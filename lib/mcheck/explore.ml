@@ -16,6 +16,11 @@ type result = {
   max_frontier : int;  (** peak BFS queue length *)
   states : string list option;
       (** sorted visited-set keys, when requested with [keep_states] *)
+  engine : string;  (** which exploration core produced this result *)
+  probabilistic : bool;
+      (** dedup used hash compaction: a fingerprint collision may have
+          hidden states, so "no violation" is high-confidence, not
+          proof *)
 }
 
 let states_per_sec r =
@@ -96,33 +101,36 @@ let expand_state sr ~frontier ~depth =
    workers have joined), so snapshotting coverage shards is safe and
    worker determinism is untouched.  [Runlog.tick] rate-limits to the
    configured interval; when --progress is off this is one match. *)
-let heartbeat sr ~max_states ~frontier =
+let heartbeat_vals ~t0 ~max_states ~explored ~frontier ~max_depth =
   Obs.Runlog.tick (fun () ->
       (* The first tick can fire with elapsed ~ 0 (or exactly 0 at clock
          granularity): dividing by it yields an absurd or non-finite
          rate, and the ETA then prints as inf/nan.  Below a millisecond
          of elapsed time there is no meaningful rate yet. *)
-      let elapsed = Sys.time () -. sr.t0 in
+      let elapsed = Sys.time () -. t0 in
       let rate =
-        if elapsed < 1e-3 then 0.
-        else float_of_int sr.s_explored /. elapsed
+        if elapsed < 1e-3 then 0. else float_of_int explored /. elapsed
       in
       let rate = if Float.is_finite rate && rate > 0. then rate else 0. in
       let covered, rows = Obs.Coverage.totals (Obs.Coverage.snapshot ()) in
       let eta =
         if rate <= 0. then "?"
         else
-          let s = float_of_int (max 0 (max_states - sr.s_explored)) /. rate in
+          let s = float_of_int (max 0 (max_states - explored)) /. rate in
           if Float.is_finite s then Printf.sprintf "%.0fs" s else "?"
       in
       Printf.sprintf
         "[mcheck] explored=%d frontier=%d depth=%d states/s=%.0f \
          coverage=%.1f%% eta<=%s"
-        sr.s_explored frontier sr.s_max_depth rate
+        explored frontier max_depth rate
         (Obs.Coverage.percent ~covered ~rows)
         eta)
 
-let finish sr ~states violation complete =
+let heartbeat sr ~max_states ~frontier =
+  heartbeat_vals ~t0:sr.t0 ~max_states ~explored:sr.s_explored ~frontier
+    ~max_depth:sr.s_max_depth
+
+let finish sr ~states ~engine ~probabilistic violation complete =
   let elapsed = Sys.time () -. sr.t0 in
   let reg = Lazy.force obs_reg in
   Obs.Metrics.add (Obs.Metrics.counter reg "states_explored") sr.s_explored;
@@ -149,6 +157,8 @@ let finish sr ~states violation complete =
            ("max_frontier", Obs.Json.Int sr.s_max_frontier);
            ("dedup_hits", Obs.Json.Int sr.s_dedup_hits);
            ("complete", Obs.Json.Bool complete);
+           ("engine", Obs.Json.Str engine);
+           ("probabilistic", Obs.Json.Bool probabilistic);
            ( "violation",
              match violation with
              | None -> Obs.Json.Null
@@ -167,13 +177,16 @@ let finish sr ~states violation complete =
         (Hashtbl.fold (fun d n acc -> (d, n) :: acc) sr.s_per_depth []);
     max_frontier = sr.s_max_frontier;
     states;
+    engine;
+    probabilistic;
   }
 
 exception Found of violation
 
 (* ------------------------- sequential engine -------------------------- *)
 
-let run_seq ~max_states ~keep_states ~state_key ~tables config =
+let run_seq ?(engine = "seq") ~max_states ~keep_states ~state_key ~tables
+    config =
   let sr = new_search () in
   let initial = Mstate.initial ~nodes:config.Semantics.nodes ~addrs:config.addrs in
   let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
@@ -240,10 +253,11 @@ let run_seq ~max_states ~keep_states ~state_key ~tables config =
               end)
         succs
     done;
-    finish sr ~states:(states ()) None true
+    finish sr ~states:(states ()) ~engine ~probabilistic:false None true
   with
-  | Exit -> finish sr ~states:(states ()) None false
-  | Found v -> finish sr ~states:(states ()) (Some v) true
+  | Exit -> finish sr ~states:(states ()) ~engine ~probabilistic:false None false
+  | Found v ->
+      finish sr ~states:(states ()) ~engine ~probabilistic:false (Some v) true
 
 (* -------------------------- parallel engine --------------------------- *)
 
@@ -341,13 +355,273 @@ let run_par ~max_states ~keep_states ~state_key ~tables config =
       frontier := Array.of_list (List.rev !next);
       incr depth
     done;
-    finish sr ~states:(states ()) None true
+    finish sr ~states:(states ()) ~engine:"level" ~probabilistic:false None true
   with
-  | Exit -> finish sr ~states:(states ()) None false
-  | Found v -> finish sr ~states:(states ()) (Some v) true
+  | Exit ->
+      finish sr ~states:(states ()) ~engine:"level" ~probabilistic:false None
+        false
+  | Found v ->
+      finish sr ~states:(states ()) ~engine:"level" ~probabilistic:false
+        (Some v) true
+
+(* ------------------------ work-stealing engine ------------------------ *)
+
+(* Glue between the controller tables and the bit-packer: seed every
+   per-field dictionary with the full vocabulary that can ever reach a
+   state, so packing inside stealing workers stays on the read-only
+   dictionary path.  The protocol-level constants that the semantics
+   writes programmatically (cache fills, reissued request names, backoff
+   markers) are appended to what {!Semantics.pack_vocab} harvests from
+   the table cells. *)
+let layout_of_tables tables (config : Semantics.config) =
+  let vocab = Semantics.pack_vocab tables in
+  let cols names extra =
+    List.sort_uniq compare
+      (extra
+      @ List.concat_map
+          (fun c -> Option.value (List.assoc_opt c vocab) ~default:[])
+          names)
+  in
+  let pend_base = cols [ "pendop" ] [] in
+  Pack.layout ~nodes:config.nodes ~addrs:config.addrs
+    ~capacity:config.capacity
+    ~dirst:(cols [ "dirst"; "nxtdirst" ] [ "I" ])
+    ~bst:(cols [ "bdirst"; "nxtbdirst" ] [ "I" ])
+    ~cache:(cols [ "cachest"; "nxtcachest" ] [ "I"; "S"; "E"; "M" ])
+    ~pend:
+      (List.sort_uniq compare
+         (pend_base @ List.map (fun op -> "backoff:" ^ op) pend_base))
+    ~msg:
+      (cols
+         [ "inmsg"; "reqmsg"; "locmsg"; "remmsg"; "memmsg"; "respmsg";
+           "ackmsg"; "outmsg" ]
+         [ "read"; "fetch"; "readex"; "swap"; "upgrade"; "wb" ])
+    ()
+
+(* One-slot caches for the two per-search build steps the packed
+   engines pay before touching a single state: bucketing the rule index
+   (~11ms over the 1156-row delivery tables) and harvesting the packed
+   layout's dictionaries.  Callers that loop over [run] with the same
+   tables value — the benchmarks, the differential suites, repeated CLI
+   sweeps — hit the cache on physical identity and skip the rebuild.
+   Reuse is sound: bucketing is a pure reindexing of the same rows, and
+   a layout's dictionaries only ever grow (codes never change), so
+   packing stays exact across searches.  A racing miss merely rebuilds;
+   the slots are plain refs on purpose. *)
+let index_cache : (Semantics.tables * Semantics.tables) option ref = ref None
+
+let indexed_tables tables =
+  match !index_cache with
+  | Some (raw, indexed) when raw == tables -> indexed
+  | _ ->
+      let indexed = Semantics.index_tables tables in
+      index_cache := Some (tables, indexed);
+      indexed
+
+let layout_cache :
+    (Semantics.tables * Semantics.config * Pack.layout) option ref =
+  ref None
+
+let cached_layout tables config =
+  match !layout_cache with
+  | Some (raw, cfg, layout) when raw == tables && cfg = config -> layout
+  | _ ->
+      let layout = layout_of_tables tables config in
+      layout_cache := Some (tables, config, layout);
+      layout
+
+(* Per-participant bookkeeping of the stealing engine.  Everything
+   order-free (counts, per-depth sums) merges after the join; anything
+   schedule-dependent (depths under racing discovery orders, the
+   frontier gauge) is documented as approximate in steal mode. *)
+type sacc = {
+  sa_self : int;
+  mutable sa_explored : int;
+  mutable sa_transitions : int;
+  mutable sa_dedup : int;
+  mutable sa_max_depth : int;
+  sa_per_depth : (int, int) Hashtbl.t;
+  mutable sa_violation : violation option;
+}
+
+(* The frontier never synchronizes: per-participant deques with
+   randomized stealing (Par.Pool.steal_loop), dedup through the sharded
+   packed visited set, and an atomic ticket counter bounding the search
+   at exactly [max_states] expansions.  On a violation the search stops
+   and — in exact mode — the boxed sequential reference engine replays
+   the whole search, so verdicts and counterexample traces are
+   bit-identical to [run_seq]; the steal path itself only ever proves
+   the *absence* of violations.  With [compact_bits] the replay is
+   skipped (the point of compaction is that the full search does not
+   fit) and the violation is reported without a trace. *)
+let run_steal ?workers ~engine ~max_states ~keep_states ~state_key ~symmetry
+    ~compact_bits ~tables config =
+  let sr = new_search () in
+  let layout = cached_layout tables config in
+  (* the packed engines dispatch rules through the bucketed index —
+     same first-match row, a fraction of the guard scans; the boxed
+     reference engines keep the naive scan *)
+  let tables = indexed_tables tables in
+  let key_of =
+    if symmetry then Pack.canonical layout else Pack.pack ?perm:None layout
+  in
+  let visited = Pack.Vset.create ?compact_bits () in
+  (* Symmetry-mode fast path: dedup on the identity packing first, and
+     only run the all-permutations canonicalization for states never
+     seen verbatim.  Sound because an exact duplicate's canonical form
+     is already in [visited] (it was inserted when the state was first
+     seen), so counters and the reachable set are unchanged — the
+     filter only skips provably redundant canonical packs.  Disabled
+     under compaction, where the whole point is bounded memory.
+     [dedup_key] returns [None] for an exact duplicate, [Some key]
+     otherwise. *)
+  let dedup_key =
+    if symmetry && compact_bits = None then begin
+      let exact = Pack.Vset.create () in
+      let initial_id =
+        Pack.pack layout
+          (Mstate.initial ~nodes:config.Semantics.nodes ~addrs:config.addrs)
+      in
+      ignore (Pack.Vset.add exact initial_id : bool);
+      fun st' ->
+        let id = Pack.pack layout st' in
+        if Pack.Vset.add exact id then
+          Some (Pack.canonical_seeded layout id st')
+        else None
+    end
+    else fun st' -> Some (key_of st')
+  in
+  let initial =
+    Mstate.initial ~nodes:config.Semantics.nodes ~addrs:config.addrs
+  in
+  ignore (Pack.Vset.add visited (key_of initial) : bool);
+  let budget = Atomic.make max_states in
+  let truncated = Atomic.make false in
+  let inflight = Atomic.make 1 in
+  let maxfront = Atomic.make 1 in
+  let accs =
+    Par.Pool.steal_loop ?workers
+      ~init:(fun i ->
+        {
+          sa_self = i;
+          sa_explored = 0;
+          sa_transitions = 0;
+          sa_dedup = 0;
+          sa_max_depth = 0;
+          sa_per_depth = Hashtbl.create 64;
+          sa_violation = None;
+        })
+      ~work:(fun acc ctl (st, depth) ->
+        Atomic.decr inflight;
+        let ticket = Atomic.fetch_and_add budget (-1) in
+        if ticket <= 0 then begin
+          Atomic.set truncated true;
+          ctl.Par.Pool.stop ()
+        end
+        else begin
+          acc.sa_explored <- acc.sa_explored + 1;
+          Hashtbl.replace acc.sa_per_depth depth
+            (1 + Option.value (Hashtbl.find_opt acc.sa_per_depth depth) ~default:0);
+          if depth > acc.sa_max_depth then acc.sa_max_depth <- depth;
+          (* the progress heartbeat stays on the spawning domain
+             (participant 0 runs there), per the Runlog contract *)
+          if acc.sa_self = 0 then
+            heartbeat_vals ~t0:sr.t0 ~max_states
+              ~explored:(max_states - Atomic.get budget)
+              ~frontier:(Atomic.get inflight) ~max_depth:acc.sa_max_depth;
+          match Semantics.state_violations config st with
+          | detail :: _ ->
+              acc.sa_violation <- Some { kind = `Coherence; detail; trace = [] };
+              ctl.Par.Pool.stop ()
+          | [] ->
+              let succs = Semantics.successors ~labels:false tables config st in
+              if succs = [] && not (Mstate.quiescent st) then begin
+                acc.sa_violation <-
+                  Some
+                    {
+                      kind = `Deadlock;
+                      detail = "no transition enabled but work is pending";
+                      trace = [];
+                    };
+                ctl.Par.Pool.stop ()
+              end
+              else
+                List.iter
+                  (fun (_label, outcome) ->
+                    acc.sa_transitions <- acc.sa_transitions + 1;
+                    match outcome with
+                    | Semantics.Broken detail ->
+                        if acc.sa_violation = None then
+                          acc.sa_violation <-
+                            Some { kind = classify detail; detail; trace = [] };
+                        ctl.Par.Pool.stop ()
+                    | Semantics.Next st' -> (
+                        match dedup_key st' with
+                        | None -> acc.sa_dedup <- acc.sa_dedup + 1
+                        | Some k ->
+                            if Pack.Vset.add visited k then begin
+                              let n = Atomic.fetch_and_add inflight 1 + 1 in
+                              if n > Atomic.get maxfront then
+                                Atomic.set maxfront n;
+                              ctl.Par.Pool.push (st', depth + 1)
+                            end
+                            else acc.sa_dedup <- acc.sa_dedup + 1))
+                  succs
+        end)
+      [ initial, 0 ]
+  in
+  let violation =
+    Array.fold_left
+      (fun found a -> match found with Some _ -> found | None -> a.sa_violation)
+      None accs
+  in
+  match violation with
+  | Some _ when compact_bits = None ->
+      (* exact mode: replay through the boxed reference engine for the
+         bit-identical verdict and counterexample trace *)
+      let r = run_seq ~engine ~max_states ~keep_states ~state_key ~tables config in
+      if r.violation <> None then r
+      else
+        (* the bounded replay visited a different subset and missed it:
+           keep the steal verdict, traceless *)
+        { r with violation; complete = true }
+  | _ ->
+      Array.iter
+        (fun a ->
+          sr.s_explored <- sr.s_explored + a.sa_explored;
+          sr.s_transitions <- sr.s_transitions + a.sa_transitions;
+          sr.s_dedup_hits <- sr.s_dedup_hits + a.sa_dedup;
+          if a.sa_max_depth > sr.s_max_depth then
+            sr.s_max_depth <- a.sa_max_depth;
+          Hashtbl.iter
+            (fun d n ->
+              Hashtbl.replace sr.s_per_depth d
+                (n + Option.value (Hashtbl.find_opt sr.s_per_depth d) ~default:0))
+            a.sa_per_depth)
+        accs;
+      sr.s_max_frontier <- Atomic.get maxfront;
+      if Obs.Config.on () then
+        Hashtbl.iter
+          (fun d n ->
+            for _ = 1 to n do
+              Obs.Metrics.observe sr.depth_histogram (float_of_int d)
+            done)
+          sr.s_per_depth;
+      let states =
+        if keep_states && compact_bits = None then begin
+          let acc = ref [] in
+          Pack.Vset.iter visited (fun v ->
+              acc := state_key (Pack.unpack layout v) :: !acc);
+          Some (List.sort compare !acc)
+        end
+        else None
+      in
+      let complete = not (Atomic.get truncated) in
+      finish sr ~states ~engine ~probabilistic:(compact_bits <> None) violation
+        complete
 
 let run ?(max_states = 200_000) ?(symmetry = false) ?tables
-    ?(keep_states = false) config =
+    ?(keep_states = false) ?(engine = `Auto) ?compact_bits config =
   Obs.Trace.with_span ~cat:"mcheck"
     ~args:
       [ "nodes", Obs.Json.Int config.Semantics.nodes;
@@ -360,15 +634,41 @@ let run ?(max_states = 200_000) ?(symmetry = false) ?tables
     if symmetry then Mstate.canonical_key ~nodes:config.Semantics.nodes
     else Mstate.key
   in
-  if Par.Pool.sequential () then
-    run_seq ~max_states ~keep_states ~state_key ~tables config
-  else run_par ~max_states ~keep_states ~state_key ~tables config
+  let steal ?workers engine =
+    run_steal ?workers ~engine ~max_states ~keep_states ~state_key ~symmetry
+      ~compact_bits ~tables config
+  in
+  match engine with
+  | `Seq -> run_seq ~max_states ~keep_states ~state_key ~tables config
+  | `Seq_packed -> steal ~workers:1 "seq-packed"
+  | `Level ->
+      if Par.Pool.sequential () then
+        run_seq ~max_states ~keep_states ~state_key ~tables config
+      else run_par ~max_states ~keep_states ~state_key ~tables config
+  | `Steal -> steal "steal"
+  | `Auto ->
+      (* Oversubscribing stealing workers past the hardware buys nothing
+         and costs real time: every extra domain must be scheduled into
+         each stop-the-world minor collection.  Auto caps the degree at
+         what the machine can actually run; an explicit `Steal keeps the
+         requested degree (tests rely on that to exercise genuinely
+         concurrent stealing even on small machines). *)
+      let workers =
+        max 1 (min (Par.Pool.domains ()) (Domain.recommended_domain_count ()))
+      in
+      if compact_bits <> None then steal ~workers "steal"
+      else if Par.Pool.sequential () then
+        run_seq ~max_states ~keep_states ~state_key ~tables config
+      else steal ~workers "steal"
 
 let pp_result fmt r =
   Format.fprintf fmt
-    "states=%d transitions=%d depth=%d time=%.2fs (%.0f states/s, dedup %.0f%%) %s"
+    "states=%d transitions=%d depth=%d time=%.2fs (%.0f states/s, dedup \
+     %.0f%%) engine=%s%s %s"
     r.explored r.transitions r.max_depth r.elapsed (states_per_sec r)
     (100. *. dedup_rate r)
+    r.engine
+    (if r.probabilistic then " (probabilistic)" else "")
     (match r.violation with
     | None -> if r.complete then "no violations" else "bounded, no violations"
     | Some v ->

@@ -20,9 +20,18 @@ type result = {
   complete : bool;  (** false if [max_states] stopped the search *)
   dedup_hits : int;  (** successors already in the visited set *)
   per_depth : (int * int) list;  (** states expanded per BFS depth *)
-  max_frontier : int;  (** peak BFS queue length *)
+  max_frontier : int;
+      (** peak BFS queue length (approximate in-flight peak for the
+          stealing engine) *)
   states : string list option;
       (** sorted visited-set keys, when requested with [keep_states] *)
+  engine : string;
+      (** which exploration core ran: ["seq"], ["seq-packed"], ["level"]
+          or ["steal"] *)
+  probabilistic : bool;
+      (** dedup used hash compaction ([compact_bits]): a fingerprint
+          collision may have hidden states, so a clean result is
+          high-confidence, not proof *)
 }
 
 val states_per_sec : result -> float
@@ -30,28 +39,57 @@ val states_per_sec : result -> float
 val dedup_rate : result -> float
 (** Fraction of transitions whose target was already visited. *)
 
+val layout_of_tables : Semantics.tables -> Semantics.config -> Pack.layout
+(** The packing layout the stealing engine uses for a model: per-field
+    dictionaries seeded with the full vocabulary of the controller
+    tables ({!Semantics.pack_vocab}) plus the protocol constants the
+    semantics writes programmatically. *)
+
 val run :
   ?max_states:int ->
   ?symmetry:bool ->
   ?tables:Semantics.tables ->
   ?keep_states:bool ->
+  ?engine:[ `Auto | `Seq | `Seq_packed | `Level | `Steal ] ->
+  ?compact_bits:int ->
   Semantics.config ->
   result
-(** BFS from the all-invalid initial state.  [max_states] (default
-    200_000) bounds the search; [tables] lets callers reuse precompiled
-    rule lists across runs.  [symmetry] (default false) visits one
-    representative per node-permutation orbit
-    ({!Mstate.canonical_key}) — same verdicts, far fewer states;
-    counterexample traces then describe a representative of each orbit
-    rather than the literal interleaving.  [keep_states] (default false)
-    returns the sorted visited-set keys in {!field-states}, used by the
-    differential test suite to compare reachable-state sets.
+(** Explicit-state search from the all-invalid initial state.
+    [max_states] (default 200_000) bounds the search; [tables] lets
+    callers reuse precompiled rule lists across runs.  [symmetry]
+    (default false) visits one representative per node-permutation orbit
+    ({!Mstate.canonical_key} / {!Pack.canonical}) — same verdicts, far
+    fewer states; counterexample traces then describe a representative
+    of each orbit rather than the literal interleaving.  [keep_states]
+    (default false) returns the sorted visited-set keys in
+    {!field-states}, used by the differential test suite to compare
+    reachable-state sets; the packed engines report the same strings by
+    unpacking their visited vectors through the boxed key function.
 
-    When {!Par.Pool.domains} is above one, each BFS level is expanded in
-    parallel across the domain pool (level-synchronized BFS with a
-    sharded dedup set); the merge replays the sequential bookkeeping in
-    frontier order, so verdicts, traces, and every counter in the result
-    are identical to the single-domain run. *)
+    [engine] selects the exploration core:
+    - [`Seq]: the boxed reference — FIFO BFS, Marshal-string visited
+      set, exact parent-pointer counterexample traces.
+    - [`Seq_packed]: the same single-threaded BFS order over the
+      bit-packed representation ({!Pack}) — the isolation benchmark for
+      packing.
+    - [`Level]: the level-synchronized parallel BFS whose merge replays
+      sequential bookkeeping, bit-identical to [`Seq] in every field.
+    - [`Steal]: the work-stealing packed frontier
+      ({!Par.Pool.steal_loop}).  For complete exact searches the
+      reachable set, [explored], [transitions], [dedup_hits], verdicts
+      and coverage bitmaps are identical to [`Seq]; [per_depth],
+      [max_depth] and [max_frontier] are schedule-dependent.  A bounded
+      search still expands exactly [max_states] states (atomic tickets)
+      but an arbitrary subset.  When the steal path hits a violation it
+      stops and replays through [`Seq] for a bit-identical verdict and
+      trace.
+    - [`Auto] (default): [`Seq] when {!Par.Pool.sequential}, otherwise
+      [`Steal].
+
+    [compact_bits] (packed engines only) switches the visited set to
+    N-bit hash compaction: memory bounded by the fingerprint table, but
+    the result is flagged {!field-probabilistic}, [keep_states] is
+    unavailable, and violations are reported without traces. *)
 
 val pp_result : Format.formatter -> result -> unit
 

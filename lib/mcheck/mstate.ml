@@ -34,7 +34,14 @@ let initial ~nodes ~addrs =
     queues = [];
   }
 
-let key t = Marshal.to_string t []
+(* No_sharing matters for correctness, not just size: with sharing
+   enabled the byte string depends on which of the (structurally equal)
+   strings inside [t] are physically shared, so the same state reached
+   through different rule firings could serialize differently and be
+   visited twice.  The packed-vs-boxed differential suite caught exactly
+   that: without this flag the boxed engine overcounts reachable
+   states. *)
+let key t = Marshal.to_string t [ Marshal.No_sharing ]
 
 let rec permutations = function
   | [] -> [ [] ]
@@ -72,7 +79,12 @@ let permute m ~nodes t =
             busy =
               Option.map
                 (fun b ->
-                  { b with requester = m b.requester; acks = remap_mask b.acks })
+                  {
+                    b with
+                    requester = remap_endpoint b.requester;
+                    acks = remap_mask b.acks;
+                    snapshot = remap_mask b.snapshot;
+                  })
                 a.busy;
           })
         t.addrs;

@@ -1,0 +1,105 @@
+(** Bit-packed state vectors and the packed visited set.
+
+    The throughput core of the checker: an {!Mstate.t} is encoded into a
+    short immutable [int array] whose field widths are fixed once per
+    model from per-field dictionary cardinalities
+    ({!Relalg.Dict}), so the visited set compares and hashes machine
+    words instead of Marshal strings.  [pack]/[unpack] are exact
+    inverses over {e arbitrary} states (the qcheck battery in
+    [test/test_pack.ml] proves round-trip and
+    pack-equality ⟺ structural-equality), so counterexample replay and
+    MSC rendering never notice the representation. *)
+
+type layout
+(** Field widths + dictionaries for one model shape.  Build once, share
+    across a whole search; packing against a layout is safe from pool
+    workers as long as the seed vocabulary covers every string that can
+    appear (dictionary reads are lock-free; only unseen strings
+    intern). *)
+
+exception Overflow of string
+(** A dictionary outgrew its field width (or a structural field its
+    fixed width).  Recover with {!refresh}: vectors packed before the
+    refresh remain decodable with the {e old} layout value. *)
+
+val layout :
+  nodes:int ->
+  addrs:int ->
+  capacity:int ->
+  dirst:string list ->
+  bst:string list ->
+  cache:string list ->
+  pend:string list ->
+  msg:string list ->
+  unit ->
+  layout
+(** [capacity] bounds per-channel queue length (one headroom bit is
+    added); the five string lists seed the per-field dictionaries
+    (typically harvested from the controller tables via
+    {!Semantics.pack_vocab}).  Every field width gets one headroom bit,
+    so a dictionary can roughly double before {!Overflow}. *)
+
+val refresh : layout -> layout
+(** Recompute field widths from current dictionary sizes (plus
+    headroom).  The dictionaries are shared with the old layout — codes
+    never change — but packed vectors are only comparable when produced
+    by the same layout value. *)
+
+val pack : ?perm:int array * int array -> layout -> Mstate.t -> int array
+(** Encode.  [perm = (m, m⁻¹)] applies the node permutation [m] during
+    encoding — [pack ~perm l st] equals [pack l (Mstate.permute m st)]
+    without materializing the permuted state. *)
+
+val unpack : layout -> int array -> Mstate.t
+(** Exact inverse of {!pack} (with the identity permutation). *)
+
+val canonical : layout -> Mstate.t -> int array
+(** The lexicographically smallest packed vector over all node
+    permutations: the packed analogue of {!Mstate.canonical_key}.
+    Symmetric states canonicalize to the same vector. *)
+
+val canonical_seeded : layout -> int array -> Mstate.t -> int array
+(** [canonical_seeded l id st] equals [canonical l st] given
+    [id = pack l st] (the identity packing, which callers deduping on
+    exact identity have already paid for): the identity permutation is
+    reused instead of re-encoded. *)
+
+val equal : int array -> int array -> bool
+(** Word-by-word compare; with a shared layout this is exactly
+    structural state equality. *)
+
+val hash : int array -> int
+(** Deterministic across domains and runs (pure arithmetic, no seed). *)
+
+val compare_packed : int array -> int array -> int
+(** Total order (length, then lexicographic by word). *)
+
+(** Sharded open-addressing visited set over packed vectors.  Each of
+    the 64 shards has its own lock, so stealing workers contend only on
+    shard collisions.  With [compact_bits n] only an n-bit fingerprint
+    is stored per state (Stern–Dill hash compaction): memory is bounded
+    and dedup stays O(1), but a fingerprint collision silently merges
+    two distinct states — searches over a compacted set must be
+    reported as probabilistic. *)
+module Vset : sig
+  type t
+
+  val create : ?compact_bits:int -> unit -> t
+  (** [compact_bits] must be within [8..62] when given. *)
+
+  val add : t -> int array -> bool
+  (** Insert; [true] iff the vector (or, compacted, its fingerprint) was
+      not already present.  Thread-safe. *)
+
+  val mem : t -> int array -> bool
+
+  val cardinal : t -> int
+
+  val iter : t -> (int array -> unit) -> unit
+  (** Exact mode only.  @raise Invalid_argument on a compacted set. *)
+
+  val probabilistic : t -> bool
+
+  val words : t -> int
+  (** Approximate heap words held in slots (capacity + stored vectors). *)
+end

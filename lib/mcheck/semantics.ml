@@ -2,8 +2,35 @@ open Mstate
 
 (* A compiled rule list plus the runtime Table.id of the table it came
    from, so every fired rule can be charged to its source row in the
-   transition-coverage bitmaps. *)
-type ruleset = { rules : Mapping.Codegen.rule list; cov : int }
+   transition-coverage bitmaps.
+
+   [index] is an optional dispatch accelerator built by {!index_tables}:
+   rules bucketed by the value their guard binds one discriminating
+   column to (the input message name, in practice).  A bucket holds, in
+   the original priority order, exactly the rules that can match a
+   binding carrying that value — rules that leave the column
+   unconstrained appear in every bucket — so first-match evaluation over
+   a bucket returns the same row as a scan of the full list.  The
+   reference engines never build the index; the packed engines do, which
+   turns the per-delivery O(|table|) guard scan into a scan of a few
+   candidate rows. *)
+type rule_index =
+  | Flat of Mapping.Codegen.rule list
+  | Split of {
+      disc : string;
+      buckets : (string, rule_index) Hashtbl.t;
+      unbound : rule_index;
+          (* rules whose guard leaves [disc] free: the candidates for a
+             discriminator value no guard ever names *)
+      all : Mapping.Codegen.rule list;
+          (* fallback when a binding doesn't carry [disc] at all *)
+    }
+
+type ruleset = {
+  rules : Mapping.Codegen.rule list;
+  cov : int;
+  index : rule_index option;
+}
 
 type tables = {
   d_rules : ruleset;
@@ -19,7 +46,7 @@ let ruleset_of_table ~inputs ~outputs t =
   Obs.Coverage.register ~id:(Relalg.Table.id t)
     ~name:(Relalg.Table.name t)
     ~rows:(Relalg.Table.cardinality t);
-  { rules; cov = Relalg.Table.id t }
+  { rules; cov = Relalg.Table.id t; index = None }
 
 let rules_of (c : Protocol.controller) =
   let spec = c.Protocol.spec in
@@ -49,7 +76,120 @@ let load_tables_with ?dir () =
 
 let load_tables () = load_tables_with ()
 
+(* The discriminator is the guard column with the most distinct values
+   (ties broken by how many guards constrain it): the input message name
+   for the delivery tables, the processor op for PIF.  More distinct
+   values means smaller buckets. *)
+let best_disc rules =
+  let vals : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let hits : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Mapping.Codegen.rule) ->
+      List.iter
+        (fun (c, v) ->
+          Hashtbl.replace hits c
+            (1 + Option.value (Hashtbl.find_opt hits c) ~default:0);
+          let seen = Option.value (Hashtbl.find_opt vals c) ~default:[] in
+          if not (List.mem v seen) then Hashtbl.replace vals c (v :: seen))
+        r.guard)
+    rules;
+  Hashtbl.fold
+    (fun c vs best ->
+      let score = (List.length vs, Hashtbl.find hits c) in
+      match best with
+      | Some (_, bs) when bs >= score -> best
+      | _ -> Some (c, score))
+    vals None
+  |> Option.map fst
+
+(* Buckets bigger than this get split again on the next-best column
+   (e.g. D splits on inmsg, then within a message on dirst); depth is
+   bounded so degenerate tables can't recurse forever. *)
+let split_threshold = 8
+
+let rec build_index fuel rules =
+  if fuel = 0 || List.length rules <= split_threshold then Flat rules
+  else
+    match best_disc rules with
+    | None -> Flat rules
+    | Some disc ->
+        let values =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (r : Mapping.Codegen.rule) -> List.assoc_opt disc r.guard)
+               rules)
+        in
+        let bucket_of v =
+          List.filter
+            (fun (r : Mapping.Codegen.rule) ->
+              match List.assoc_opt disc r.guard with
+              | Some g -> String.equal g v
+              | None -> true)
+            rules
+        in
+        let bs = List.map (fun v -> (v, bucket_of v)) values in
+        if
+          (* no progress: every bucket is the whole list (all guards
+             agree on one value, or none constrain the column) *)
+          List.for_all
+            (fun (_, b) -> List.length b = List.length rules)
+            bs
+        then Flat rules
+        else begin
+          let buckets = Hashtbl.create (2 * List.length values) in
+          List.iter
+            (fun (v, b) -> Hashtbl.replace buckets v (build_index (fuel - 1) b))
+            bs;
+          let unbound =
+            List.filter
+              (fun (r : Mapping.Codegen.rule) ->
+                List.assoc_opt disc r.guard = None)
+              rules
+          in
+          Split
+            { disc; buckets; unbound = build_index (fuel - 1) unbound;
+              all = rules }
+        end
+
+let index_ruleset rs =
+  match build_index 3 rs.rules with
+  | Flat _ -> rs
+  | index -> { rs with index = Some index }
+
+let index_tables t =
+  {
+    d_rules = index_ruleset t.d_rules;
+    c_rules = index_ruleset t.c_rules;
+    n_rules = index_ruleset t.n_rules;
+    pif_rules = index_ruleset t.pif_rules;
+    m_rules = index_ruleset t.m_rules;
+    io_rules = index_ruleset t.io_rules;
+  }
+
 let directory_rules t = t.d_rules.rules
+
+(* Every symbolic string a reachable state can contain comes out of a
+   controller-table cell: harvest them per column, so the bit-packer can
+   seed its per-field dictionaries up front and pool workers never
+   intern (Pack relies on the read-only Dict.code_opt fast path). *)
+let pack_vocab t =
+  let tbl : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  let record (col, v) =
+    let prev = Option.value (Hashtbl.find_opt tbl col) ~default:[] in
+    if not (List.mem v prev) then Hashtbl.replace tbl col (v :: prev)
+  in
+  List.iter
+    (fun rs ->
+      List.iter
+        (fun (r : Mapping.Codegen.rule) ->
+          List.iter record r.guard;
+          List.iter record r.action)
+        rs.rules)
+    [ t.d_rules; t.c_rules; t.n_rules; t.pif_rules; t.m_rules; t.io_rules ];
+  Hashtbl.fold
+    (fun col vs acc -> (col, List.sort compare vs) :: acc)
+    tbl []
+  |> List.sort compare
 
 type config = {
   nodes : int;
@@ -64,8 +204,24 @@ type outcome = Next of Mstate.t | Broken of string
 (* The single choke point where controller-table rows fire: record the
    matched row in the coverage bitmap (a no-op branch when coverage is
    off — safe from parallel workers, see Obs.Coverage). *)
+let rec index_candidates idx binding =
+  match idx with
+  | Flat rules -> rules
+  | Split { disc; buckets; unbound; all } -> (
+      match List.assoc_opt disc binding with
+      | None -> all (* binding doesn't carry the discriminator *)
+      | Some v -> (
+          match Hashtbl.find_opt buckets v with
+          | Some sub -> index_candidates sub binding
+          | None -> index_candidates unbound binding))
+
 let eval rs binding =
-  match Mapping.Codegen.eval_rule rs.rules binding with
+  let candidates =
+    match rs.index with
+    | None -> rs.rules
+    | Some idx -> index_candidates idx binding
+  in
+  match Mapping.Codegen.eval_rule candidates binding with
   | None -> None
   | Some r ->
       Obs.Coverage.record ~id:rs.cov ~row:r.Mapping.Codegen.row;
@@ -409,7 +565,13 @@ let within_capacity config st =
     (fun (_, q) -> List.length q <= config.capacity)
     st.Mstate.queues
 
-let successors tables config st =
+let successors ?(labels = true) tables config st =
+  (* Label rendering is a real fraction of the per-state cost (several
+     Printf.sprintf per expansion).  The boxed reference engine needs
+     the labels — it stores one per visited state for counterexample
+     traces — but the packed engines reconstruct traces by sequential
+     replay and pass [~labels:false] to skip the rendering entirely. *)
+  let lbl f = if labels then f () else "" in
   let io_op op = List.mem op [ "ioload"; "iostore"; "iormwop" ] in
   let reissues =
     List.concat_map
@@ -419,7 +581,9 @@ let successors tables config st =
             match reissue st ~node ~addr with
             | Some st' when within_capacity config st' ->
                 Some
-                  (Printf.sprintf "reissue node%d addr%d" node addr, Next st')
+                  ( lbl (fun () ->
+                        Printf.sprintf "reissue node%d addr%d" node addr),
+                    Next st' )
             | Some _ | None -> None)
           (List.init config.addrs Fun.id))
       (List.init config.nodes Fun.id)
@@ -439,7 +603,9 @@ let successors tables config st =
                   match issue tables st node addr op with
                   | Some st' when within_capacity config st' ->
                       Some
-                        ( Printf.sprintf "issue %s node%d addr%d" op node addr,
+                        ( lbl (fun () ->
+                              Printf.sprintf "issue %s node%d addr%d" op node
+                                addr),
                           Next st' )
                   | Some _ | None -> None)
                 config.ops)
@@ -450,8 +616,9 @@ let successors tables config st =
     List.filter_map
       (fun ((_, dst, cls), msg) ->
         let label =
-          Printf.sprintf "deliver %s %d->%d (%s) addr%d" msg.m msg.src dst cls
-            msg.addr
+          lbl (fun () ->
+              Printf.sprintf "deliver %s %d->%d (%s) addr%d" msg.m msg.src dst
+                cls msg.addr)
         in
         let st' =
           match dequeue st (msg.src, dst, cls) with
@@ -482,8 +649,9 @@ let successors tables config st =
             match dequeue st (src, dst, cls) with
             | Some (_, st') ->
                 Some
-                  ( Printf.sprintf "DROP %s %d->%d (%s) addr%d" msg.m src dst
-                      cls msg.addr,
+                  ( lbl (fun () ->
+                        Printf.sprintf "DROP %s %d->%d (%s) addr%d" msg.m src
+                          dst cls msg.addr),
                     Next st' )
             | None -> None
           else None)

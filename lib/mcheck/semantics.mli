@@ -17,6 +17,15 @@ val load_tables_with : ?dir:Protocol.Ctrl_spec.t -> unit -> tables
 (** Like {!load_tables} but with the directory-controller specification
     replaced — used to model-check seeded-bug variants of D. *)
 
+val index_tables : tables -> tables
+(** Rules re-bucketed by a discriminating guard column (the input
+    message name, in practice) so rule dispatch scans a handful of
+    candidates instead of the whole table.  First-match semantics —
+    including the matched row recorded in the coverage bitmaps — are
+    exactly those of the unindexed rules; the packed exploration
+    engines run on indexed tables while the boxed reference engine
+    keeps the naive scan the differential suite trusts. *)
+
 type config = {
   nodes : int;  (** caches in the system (2–5 are practical) *)
   addrs : int;  (** distinct cache lines (1–2 are practical) *)
@@ -43,8 +52,12 @@ type outcome =
   | Next of Mstate.t
   | Broken of string  (** the transition exposed a protocol error *)
 
-val successors : tables -> config -> Mstate.t -> (string * outcome) list
-(** All enabled transitions with human-readable labels. *)
+val successors :
+  ?labels:bool -> tables -> config -> Mstate.t -> (string * outcome) list
+(** All enabled transitions with human-readable labels.  [~labels:false]
+    returns [""] in place of every label, skipping the rendering cost —
+    for engines that reconstruct traces by replay instead of storing a
+    label per visited state. *)
 
 val state_violations : config -> Mstate.t -> string list
 (** Structural coherence violations of a state itself: two owners, an
@@ -86,3 +99,9 @@ val dir_binding :
 
 val directory_rules : tables -> Mapping.Codegen.rule list
 (** The compiled directory rule list (for gating against ED variants). *)
+
+val pack_vocab : tables -> (string * string list) list
+(** Every (column, value) string pair appearing in any guard or action
+    of the compiled tables, grouped by column and sorted.  The
+    bit-packer ({!Pack.layout}) seeds its per-field dictionaries from
+    this, so packing in pool workers never has to intern. *)

@@ -207,6 +207,8 @@ let runs_schema =
       "rows";
       "coverage_pct";
       "states_per_sec";
+      "engine";
+      "probabilistic";
     ]
 
 let run_row (label, doc) =
@@ -239,6 +241,15 @@ let run_row (label, doc) =
      with
     | Some f -> Value.Float f
     | None -> Value.Null);
+    (* which exploration core a model-checking run used, and whether its
+       dedup was hash-compacted (probabilistic coverage): non-mcheck
+       manifests leave both NULL *)
+    (match Option.bind (path doc [ "mcheck"; "engine" ]) Json.to_str with
+    | Some s -> Value.Str s
+    | None -> Value.Null);
+    (match path doc [ "mcheck"; "probabilistic" ] with
+    | Some (Json.Bool b) -> Value.Bool b
+    | Some _ | None -> Value.Null);
   |]
 
 let runs docs = Table.of_rows ~name:"sys.runs" runs_schema (List.map run_row docs)

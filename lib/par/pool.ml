@@ -35,6 +35,8 @@ let sequential () = in_worker () || domains () <= 1
 
 (* ------------------------------ the pool ------------------------------ *)
 
+let obs_reg = lazy (Obs.Metrics.registry "par")
+
 type pool = {
   lock : Mutex.t;
   work_available : Condition.t;
@@ -70,7 +72,14 @@ let worker_loop () =
 
 (* Workers are never joined: they idle on the condition variable and die
    with the process.  [ensure_workers] grows the pool to the high-water
-   mark of requested degrees. *)
+   mark of requested degrees.  Every Domain.spawn is counted in the
+   "spawn" counter of the "par" registry: spawning a domain costs
+   hundreds of microseconds, so any hot path that re-spawns per region
+   (instead of reusing the resident pool) shows up immediately — the
+   regression test over a multi-level parallel search pins this at
+   [domains - 1] no matter how many regions ran. *)
+let spawn_counter = lazy (Obs.Metrics.counter (Lazy.force obs_reg) "spawn")
+
 let ensure_workers n =
   Mutex.lock pool.lock;
   let missing = n - pool.workers in
@@ -78,6 +87,7 @@ let ensure_workers n =
     pool.workers <- n;
     Mutex.unlock pool.lock;
     for _ = 1 to missing do
+      Obs.Metrics.incr (Lazy.force spawn_counter);
       ignore (Domain.spawn worker_loop : unit Domain.t)
     done
   end
@@ -88,8 +98,6 @@ let ensure_workers n =
    stamps raw clock readings into caller-owned arrays, and the spawning
    domain folds them into the "par" registry after the join.  With
    observability off no clock is read and no array is allocated. *)
-
-let obs_reg = lazy (Obs.Metrics.registry "par")
 
 let ms_bounds = Obs.Metrics.exponential_bounds ~start:0.01 ~factor:4. 12
 
@@ -267,6 +275,201 @@ let filter_list ?min_chunk p l =
         (Array.of_list l)
     in
     timed_merge (fun () -> List.concat (Array.to_list parts))
+
+(* --------------------------- work stealing ---------------------------
+
+   A frontier that never globally synchronizes: each participant owns a
+   deque (LIFO at its own end, FIFO at the thief end, the classic
+   work-stealing discipline), processes jobs and pushes successors
+   locally, and steals from a random victim when its own deque drains.
+   Termination is detected with a global count of unfinished jobs: a job
+   is "unfinished" from push until its [work] call returns, so the count
+   can only reach zero once no job is queued anywhere and no job is
+   mid-execution (whose pushes could refill a deque).
+
+   Participants run as ordinary pool jobs through [run_chunks], so the
+   resident worker domains are reused — a steal region spawns nothing
+   once the pool has reached its high-water mark ("spawn" counter).
+
+   Idle participants first sweep every victim twice, then park on a
+   condition variable; pushes and the final decrement broadcast, so a
+   parked thief cannot miss the wakeup that carries the last work (the
+   parked counter and the re-check both happen under the same lock).
+   On a single hardware thread this matters more than steal latency:
+   spinning thieves would eat the very core the owner needs. *)
+
+type 'job deque = {
+  dq_lock : Mutex.t;
+  mutable buf : 'job array;
+  mutable head : int;  (** index of the oldest job (thief end) *)
+  mutable tail : int;  (** one past the newest job (owner end) *)
+}
+
+let deque_create () =
+  { dq_lock = Mutex.create (); buf = [||]; head = 0; tail = 0 }
+
+let deque_push d j =
+  Mutex.lock d.dq_lock;
+  let cap = Array.length d.buf in
+  if d.tail - d.head = cap then begin
+    (* full: compact into a doubled buffer *)
+    let buf = Array.make (max 64 (2 * cap)) j in
+    Array.blit d.buf (d.head mod max 1 cap) buf 0 (cap - (d.head mod max 1 cap));
+    if cap > 0 then
+      Array.blit d.buf 0 buf
+        (cap - (d.head mod cap))
+        (d.head mod cap);
+    d.buf <- buf;
+    d.head <- 0;
+    d.tail <- cap
+  end;
+  d.buf.(d.tail mod Array.length d.buf) <- j;
+  d.tail <- d.tail + 1;
+  Mutex.unlock d.dq_lock
+
+let deque_pop d =
+  Mutex.lock d.dq_lock;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      d.tail <- d.tail - 1;
+      Some d.buf.(d.tail mod Array.length d.buf)
+    end
+  in
+  Mutex.unlock d.dq_lock;
+  r
+
+let deque_steal d =
+  Mutex.lock d.dq_lock;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      let j = d.buf.(d.head mod Array.length d.buf) in
+      d.head <- d.head + 1;
+      Some j
+    end
+  in
+  Mutex.unlock d.dq_lock;
+  r
+
+type 'job ctl = { push : 'job -> unit; stop : unit -> unit }
+
+let steal_loop (type job acc) ?workers ~(init : int -> acc)
+    ~(work : acc -> job ctl -> job -> unit) (jobs : job list) : acc array =
+  let w = match workers with Some w -> max 1 w | None -> domains () in
+  if w = 1 || sequential () then begin
+    (* Degenerate single-participant loop: a FIFO queue, so at one
+       domain the processing order is exactly breadth-first — the same
+       order as the sequential reference engine. *)
+    let acc = init 0 in
+    let q = Queue.create () in
+    let stopped = ref false in
+    let ctl =
+      { push = (fun j -> Queue.add j q); stop = (fun () -> stopped := true) }
+    in
+    List.iter (fun j -> Queue.add j q) jobs;
+    while (not !stopped) && not (Queue.is_empty q) do
+      work acc ctl (Queue.pop q)
+    done;
+    [| acc |]
+  end
+  else begin
+    let deques = Array.init w (fun _ -> deque_create ()) in
+    let pending = Atomic.make 0 in
+    let stopped = Atomic.make false in
+    let park_lock = Mutex.create () in
+    let park_cond = Condition.create () in
+    let parked = Atomic.make 0 in
+    let wake_all () =
+      if Atomic.get parked > 0 then begin
+        Mutex.lock park_lock;
+        Condition.broadcast park_cond;
+        Mutex.unlock park_lock
+      end
+    in
+    let accs = Array.init w init in
+    (* Seed round-robin so the first sweep finds work everywhere. *)
+    List.iteri
+      (fun i j ->
+        Atomic.incr pending;
+        deque_push deques.(i mod w) j)
+      jobs;
+    let participant self () =
+      let rng = Random.State.make [| 0x57ea1; self |] in
+      let my = deques.(self) in
+      let ctl =
+        {
+          push =
+            (fun j ->
+              Atomic.incr pending;
+              deque_push my j;
+              wake_all ());
+          stop =
+            (fun () ->
+              Atomic.set stopped true;
+              wake_all ());
+        }
+      in
+      let acc = accs.(self) in
+      let finish_job () =
+        if Atomic.fetch_and_add pending (-1) = 1 then
+          (* the very last job: nothing queued, nothing mid-flight *)
+          wake_all ()
+      in
+      let try_steal () =
+        (* one randomized sweep over the other participants *)
+        let off = 1 + Random.State.int rng (w - 1) in
+        let rec go k =
+          if k = w - 1 then None
+          else
+            match deque_steal deques.((self + off + k) mod w) with
+            | Some j -> Some j
+            | None -> go (k + 1)
+        in
+        go 0
+      in
+      let rec loop idle_sweeps =
+        if Atomic.get stopped then ()
+        else
+          match deque_pop my with
+          | Some j ->
+              work acc ctl j;
+              finish_job ();
+              loop 0
+          | None -> (
+              if Atomic.get pending = 0 then ()
+              else
+                match try_steal () with
+                | Some j ->
+                    work acc ctl j;
+                    finish_job ();
+                    loop 0
+                | None ->
+                    if idle_sweeps < 2 then loop (idle_sweeps + 1)
+                    else begin
+                      (* park until a push / the last job / stop *)
+                      Mutex.lock park_lock;
+                      Atomic.incr parked;
+                      if (not (Atomic.get stopped)) && Atomic.get pending > 0
+                      then Condition.wait park_cond park_lock;
+                      Atomic.decr parked;
+                      Mutex.unlock park_lock;
+                      loop 0
+                    end)
+      in
+      try loop 0
+      with e ->
+        (* a crashed participant must not strand the others at the
+           termination barrier *)
+        Atomic.set stopped true;
+        Mutex.lock park_lock;
+        Condition.broadcast park_cond;
+        Mutex.unlock park_lock;
+        raise e
+    in
+    run_chunks (Array.init w participant);
+    accs
+  end
 
 let map_reduce ?min_chunk ~map ~merge ~init a =
   let parts =

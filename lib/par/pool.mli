@@ -75,6 +75,37 @@ val concat_map_list : ?min_chunk:int -> ('a -> 'b list) -> 'a list -> 'b list
 val filter_list : ?min_chunk:int -> ('a -> bool) -> 'a list -> 'a list
 (** Parallel [List.filter], preserving order. *)
 
+type 'job ctl = { push : 'job -> unit; stop : unit -> unit }
+(** Handle given to {!steal_loop} work functions: [push] enqueues a new
+    job on the calling participant's own deque; [stop] requests global
+    early termination (best-effort — jobs already mid-execution finish). *)
+
+val steal_loop :
+  ?workers:int ->
+  init:(int -> 'acc) ->
+  work:('acc -> 'job ctl -> 'job -> unit) ->
+  'job list ->
+  'acc array
+(** Work-stealing parallel loop: the initial [jobs] are dealt round-robin
+    to [workers] participants (default {!domains}[ ()]), each of which
+    repeatedly pops from its own deque — newest first — executes
+    [work acc ctl job], and steals the {e oldest} job from a random victim
+    when its own deque is empty.  Terminates when every pushed job has
+    been executed (detected by a global unfinished-job count) or when
+    [ctl.stop] is called.  Returns the per-participant accumulators in
+    participant order.
+
+    Unlike the chunked entry points, the execution order — and therefore
+    anything order-sensitive a caller folds into its accumulators — is
+    {e not} deterministic at [workers > 1]; callers needing the
+    deterministic-merge contract must only extract order-free results
+    (sets, bitmap ORs, sums) from the accumulator array.  With
+    [workers = 1] (or under {!sequential}) the loop degenerates to a
+    single FIFO queue on the calling domain, i.e. exact breadth-first
+    order.  Participants are ordinary pool jobs, so the resident worker
+    domains are reused ("spawn" counter in the ["par"] registry counts
+    every [Domain.spawn]). *)
+
 val map_reduce :
   ?min_chunk:int ->
   map:('a -> 'b) ->

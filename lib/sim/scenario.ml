@@ -37,7 +37,7 @@ let mem = Mcheck.Mstate.mem
    channel, and memory's ack for it needs the response channel occupied by
    A's ack.  Channel capacities: one slot everywhere, two on the request
    channel (both writebacks plus the readex are requests). *)
-let figure4 v =
+let figure4_wedged v =
   let config =
     {
       Runner.v;
@@ -63,8 +63,12 @@ let figure4 v =
     ]
   in
   let trace, log = collect () in
-  let result, _ = Runner.run ~script ~trace config st in
-  result, log ()
+  let result, final = Runner.run ~script ~trace config st in
+  result, log (), final
+
+let figure4 v =
+  let result, log, _ = figure4_wedged v in
+  result, log
 
 (* Figure 2: node 0 requests exclusive ownership of a line shared by
    nodes 1 and 2; both are invalidated, memory supplies data, the

@@ -17,6 +17,13 @@ val figure4 : Checker.Vcassign.t -> Runner.result * string list
 (** Run the Figure 4 interleaving under the given channel assignment;
     returns the outcome and the transition trace. *)
 
+val figure4_wedged :
+  Checker.Vcassign.t -> Runner.result * string list * Mcheck.Mstate.t
+(** {!figure4} plus the final state the schedule left behind — under the
+    faulty assignment, the wedged configuration itself (VC2 and VC4
+    mutually occupied).  The packed-path golden test round-trips this
+    state through {!Mcheck.Pack} to pin the witness. *)
+
 val readex_walkthrough : Checker.Vcassign.t -> Runner.result * string list
 (** The paper's Figure 2 read-exclusive transaction end to end: a store
     miss against a line shared by two remote nodes. *)

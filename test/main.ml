@@ -15,6 +15,7 @@ let () =
       "relalg-properties", Test_relalg_props.suite;
       "lineage-and-why", Test_lineage.suite;
       "seq-vs-par-differential", Test_par_diff.suite;
+      "state-packing", Test_pack.suite;
       "protocol-model", Test_protocol.suite;
       "ctrl-spec-properties", Test_ctrl_spec_props.suite;
       "checker", Test_checker.suite;

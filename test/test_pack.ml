@@ -1,0 +1,261 @@
+(* Property battery for the bit-packed state representation (Mcheck.Pack).
+
+   The packed visited set stands in for structural state equality in the
+   exploration core, so the properties here are exactly the soundness
+   obligations of that substitution: pack/unpack is an exact inverse
+   over arbitrary (not just reachable) states, pack-equality coincides
+   with structural equality in both directions, hashes are stable across
+   domains, the permutation-during-encoding path agrees with
+   Mstate.permute, and a dictionary growing past its field width fails
+   loudly (Overflow) and recovers by layout refresh without invalidating
+   vectors packed earlier. *)
+
+open Mcheck
+
+(* ------------------------- state generation -------------------------- *)
+
+let dirst_pool = [ "I"; "SI"; "MESI" ]
+let bst_pool = [ "I"; "Busy-read-sd"; "Busy-readex-sd"; "Busy-wb" ]
+let cache_pool = [ "I"; "S"; "E"; "M" ]
+let pend_pool = [ "read"; "write"; "wback"; "backoff:read"; "backoff:write" ]
+
+let msg_pool =
+  [ "read"; "readex"; "wb"; "data"; "sdata"; "idone"; "mread"; "mdata" ]
+
+let cls_pool = [ "reqq"; "respq"; "snp"; "resp"; "ackq"; "memq" ]
+
+let layout_for ~nodes ~addrs ~capacity =
+  Pack.layout ~nodes ~addrs ~capacity ~dirst:dirst_pool ~bst:bst_pool
+    ~cache:cache_pool ~pend:pend_pool ~msg:msg_pool ()
+
+(* Arbitrary well-formed states for a (nodes, addrs) shape: any field
+   combination the Mstate type allows, with queues respecting the
+   sorted-by-key / no-empty-FIFO invariant. *)
+let state_gen ~nodes ~addrs ~capacity =
+  QCheck.Gen.(
+    let endpoint = map (fun e -> e - 2) (int_bound (nodes + 1)) in
+    let mask = int_bound ((1 lsl nodes) - 1) in
+    let busy_gen =
+      let* bst = oneofl (List.filter (( <> ) "I") bst_pool) in
+      let* requester = endpoint in
+      let* acks = mask in
+      let* snapshot = mask in
+      let* data_fresh = bool in
+      return { Mstate.bst; requester; acks; snapshot; data_fresh }
+    in
+    let addr_gen =
+      let* dirst = oneofl dirst_pool in
+      let* sharers = mask in
+      let* busy = opt busy_gen in
+      let* mem_fresh = bool in
+      return { Mstate.dirst; sharers; busy; mem_fresh }
+    in
+    let msg_gen =
+      let* m = oneofl msg_pool in
+      let* src = endpoint in
+      let* dst = endpoint in
+      let* addr = int_bound (addrs - 1) in
+      let* fresh = bool in
+      return { Mstate.m; src; dst; addr; fresh }
+    in
+    let channel_gen =
+      let* src = endpoint in
+      let* dst = endpoint in
+      let* cls = oneofl cls_pool in
+      let* len = int_range 1 capacity in
+      let* q = list_repeat len msg_gen in
+      return ((src, dst, cls), q)
+    in
+    let* addrs_l = list_repeat addrs addr_gen in
+    let* caches = list_repeat nodes (list_repeat addrs (oneofl cache_pool)) in
+    let* pend = list_repeat nodes (list_repeat addrs (opt (oneofl pend_pool))) in
+    let* nchans = int_bound 4 in
+    let* chans = list_repeat nchans channel_gen in
+    (* dedup channel keys and restore the sorted-assoc invariant *)
+    let chans =
+      List.sort_uniq (fun (k, _) (k', _) -> compare k k') chans
+    in
+    return { Mstate.addrs = addrs_l; caches; pend; queues = chans })
+
+let shape_gen =
+  QCheck.Gen.(
+    let* nodes = int_range 1 3 in
+    let* addrs = int_range 1 2 in
+    return (nodes, addrs))
+
+let case_gen =
+  QCheck.Gen.(
+    let* nodes, addrs = shape_gen in
+    let* st = state_gen ~nodes ~addrs ~capacity:3 in
+    return (nodes, addrs, st))
+
+let print_case (nodes, addrs, st) =
+  Format.asprintf "nodes=%d addrs=%d@.%a" nodes addrs Mstate.pp st
+
+let case_arb = QCheck.make case_gen ~print:print_case
+
+(* ----------------------------- properties ----------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"pack/unpack round-trip is exact"
+    case_arb (fun (nodes, addrs, st) ->
+      let l = layout_for ~nodes ~addrs ~capacity:3 in
+      Pack.unpack l (Pack.pack l st) = st)
+
+let pair_gen =
+  QCheck.Gen.(
+    let* nodes, addrs = shape_gen in
+    let* a = state_gen ~nodes ~addrs ~capacity:3 in
+    let* dup = bool in
+    let* b = if dup then return a else state_gen ~nodes ~addrs ~capacity:3 in
+    return (nodes, addrs, a, b))
+
+let prop_equality =
+  QCheck.Test.make ~count:1000
+    ~name:"pack-equality coincides with structural equality"
+    (QCheck.make pair_gen ~print:(fun (n, a, s1, s2) ->
+         print_case (n, a, s1) ^ "----\n" ^ print_case (n, a, s2)))
+    (fun (nodes, addrs, a, b) ->
+      let l = layout_for ~nodes ~addrs ~capacity:3 in
+      let pa = Pack.pack l a and pb = Pack.pack l b in
+      Pack.equal pa pb = (a = b)
+      && (Pack.equal pa pb = (Pack.compare_packed pa pb = 0))
+      && ((not (Pack.equal pa pb)) || Pack.hash pa = Pack.hash pb))
+
+let prop_hash_stable_across_domains =
+  QCheck.Test.make ~count:100
+    ~name:"packed hashes identical from pool workers at 1/2/4 domains"
+    (QCheck.make
+       QCheck.Gen.(
+         let* nodes, addrs = shape_gen in
+         let* sts = list_repeat 8 (state_gen ~nodes ~addrs ~capacity:3) in
+         return (nodes, addrs, sts))
+       ~print:(fun (n, a, sts) ->
+         Printf.sprintf "nodes=%d addrs=%d, %d states" n a (List.length sts)))
+    (fun (nodes, addrs, sts) ->
+      let l = layout_for ~nodes ~addrs ~capacity:3 in
+      let packed = List.map (Pack.pack l) sts in
+      let reference = List.map Pack.hash packed in
+      List.for_all
+        (fun d ->
+          Par.Pool.with_domains d (fun () ->
+              Par.Pool.map_list ~min_chunk:1 Pack.hash packed = reference))
+        [ 1; 2; 4 ])
+
+let perm_gen nodes =
+  QCheck.Gen.(
+    let* shuffled = shuffle_l (List.init nodes Fun.id) in
+    let m = Array.of_list shuffled in
+    let inv = Array.make nodes 0 in
+    Array.iteri (fun j mj -> inv.(mj) <- j) m;
+    return (m, inv))
+
+let prop_pack_perm =
+  QCheck.Test.make ~count:500
+    ~name:"pack ~perm equals pack of the permuted state"
+    (QCheck.make
+       QCheck.Gen.(
+         let* nodes, addrs, st = case_gen in
+         let* perm = perm_gen nodes in
+         return (nodes, addrs, st, perm))
+       ~print:(fun (n, a, st, (m, _)) ->
+         Printf.sprintf "perm=[%s] %s"
+           (String.concat ";" (Array.to_list (Array.map string_of_int m)))
+           (print_case (n, a, st))))
+    (fun (nodes, addrs, st, (m, inv)) ->
+      let l = layout_for ~nodes ~addrs ~capacity:3 in
+      Pack.equal
+        (Pack.pack ~perm:(m, inv) l st)
+        (Pack.pack l (Mstate.permute (fun j -> m.(j)) ~nodes st)))
+
+let prop_canonical_orbit =
+  QCheck.Test.make ~count:300
+    ~name:"canonical packed vector constant on a permutation orbit"
+    (QCheck.make
+       QCheck.Gen.(
+         let* nodes, addrs, st = case_gen in
+         let* m, _ = perm_gen nodes in
+         return (nodes, addrs, st, m))
+       ~print:(fun (n, a, st, m) ->
+         Printf.sprintf "perm=[%s] %s"
+           (String.concat ";" (Array.to_list (Array.map string_of_int m)))
+           (print_case (n, a, st))))
+    (fun (nodes, addrs, st, m) ->
+      let l = layout_for ~nodes ~addrs ~capacity:3 in
+      Pack.equal (Pack.canonical l st)
+        (Pack.canonical l (Mstate.permute (fun j -> m.(j)) ~nodes st)))
+
+(* Width-recomputation safety: a layout seeded with a tiny vocabulary is
+   fed states drawing from the full pool.  Either every string fits in
+   the headroom bit, or packing raises Overflow; [refresh] then widens
+   the field and the retry makes progress (pack aborts at the *first*
+   oversized string, so one refresh per overflow, monotone in the dict
+   size, terminates).  Vectors packed before any growth still decode
+   through the *old* layout value — dicts are append-only and widths are
+   per-layout. *)
+let prop_width_recompute =
+  QCheck.Test.make ~count:300
+    ~name:"dictionary growth past the field width: Overflow then refresh"
+    case_arb (fun (nodes, addrs, st) ->
+      let tiny =
+        Pack.layout ~nodes ~addrs ~capacity:3 ~dirst:[ "I" ] ~bst:[ "I" ]
+          ~cache:[ "I" ] ~pend:[ "read" ] ~msg:[ "read" ] ()
+      in
+      let baseline = Mstate.initial ~nodes ~addrs in
+      let v0 = Pack.pack tiny baseline in
+      let rec pack_growing l fuel =
+        match Pack.pack l st with
+        | v -> Pack.unpack l v = st
+        | exception Pack.Overflow _ when fuel > 0 ->
+            pack_growing (Pack.refresh l) (fuel - 1)
+      in
+      (* every overflow interns the offending string before raising, so
+         the dict grows each round: 64 rounds dwarfs the vocabulary *)
+      pack_growing tiny 64
+      (* growth must never disturb vectors packed under the old widths *)
+      && Pack.unpack tiny v0 = baseline
+      && Pack.equal v0 (Pack.pack tiny baseline))
+
+(* The visited set itself: adds deduplicate exactly in exact mode, and
+   the compacted variant stays sound for re-adds of the same state. *)
+let prop_vset =
+  QCheck.Test.make ~count:300 ~name:"Vset add/mem agree with packed equality"
+    (QCheck.make
+       QCheck.Gen.(
+         let* nodes, addrs = shape_gen in
+         let* sts = list_repeat 12 (state_gen ~nodes ~addrs ~capacity:2) in
+         return (nodes, addrs, sts))
+       ~print:(fun (n, a, sts) ->
+         Printf.sprintf "nodes=%d addrs=%d, %d states" n a (List.length sts)))
+    (fun (nodes, addrs, sts) ->
+      let l = layout_for ~nodes ~addrs ~capacity:2 in
+      let packed = List.map (Pack.pack l) sts in
+      let distinct =
+        List.sort_uniq Pack.compare_packed packed |> List.length
+      in
+      let vs = Pack.Vset.create () in
+      let inserted =
+        List.fold_left
+          (fun n v -> if Pack.Vset.add vs v then n + 1 else n)
+          0 packed
+      in
+      let compact = Pack.Vset.create ~compact_bits:30 () in
+      inserted = distinct
+      && Pack.Vset.cardinal vs = distinct
+      && List.for_all (Pack.Vset.mem vs) packed
+      && List.for_all
+           (fun v ->
+             ignore (Pack.Vset.add compact v : bool);
+             not (Pack.Vset.add compact v))
+           packed)
+
+let suite =
+  [
+    Test_seed.to_alcotest prop_roundtrip;
+    Test_seed.to_alcotest prop_equality;
+    Test_seed.to_alcotest prop_hash_stable_across_domains;
+    Test_seed.to_alcotest prop_pack_perm;
+    Test_seed.to_alcotest prop_canonical_orbit;
+    Test_seed.to_alcotest prop_width_recompute;
+    Test_seed.to_alcotest prop_vset;
+  ]

@@ -198,6 +198,12 @@ let observe_mcheck (r : Mcheck.Explore.result) =
   ( r.explored, r.transitions, r.max_depth, r.violation, r.complete,
     r.dedup_hits, r.per_depth, r.max_frontier, r.states )
 
+(* The level-synchronized engine replays sequential bookkeeping exactly,
+   so EVERY field — including the schedule-sensitive per_depth /
+   max_depth / max_frontier — must match at any domain count, even on
+   truncated searches.  Pinned to [`Level]: the default engine is now the
+   work-stealing core, whose contract is the weaker order-free one
+   checked below. *)
 let prop_mcheck_diff =
   QCheck.Test.make ~count:500
     ~name:
@@ -210,8 +216,215 @@ let prop_mcheck_diff =
     (fun (cfg, max_states, symmetry) ->
       agree (fun () ->
           observe_mcheck
-            (Mcheck.Explore.run ~max_states ~symmetry
+            (Mcheck.Explore.run ~max_states ~symmetry ~engine:`Level
                ~tables:(Lazy.force mcheck_tables) ~keep_states:true cfg)))
+
+(* ---------------- packed / work-stealing differential ----------------- *)
+
+(* The stealing engine's schedule is nondeterministic, so only its
+   order-free observables are comparable: for a COMPLETE exact search
+   every visited state is expanded exactly once in any schedule, making
+   the reachable set, explored / transitions / dedup totals, the verdict
+   and the coverage bitmaps schedule-independent.  per_depth, max_depth
+   and max_frontier are not, and are deliberately left out. *)
+let observe_order_free (r : Mcheck.Explore.result) =
+  (r.explored, r.transitions, r.dedup_hits, r.violation, r.complete, r.states)
+
+let steal_case_gen =
+  QCheck.Gen.(
+    let* ops = nonempty_sublist_gen [ "load"; "store" ] in
+    let* evictions = bool in
+    let* capacity = int_range 1 2 in
+    let* symmetry = bool in
+    let ops = if evictions then ops @ [ "evict" ] else ops in
+    return
+      ( { Mcheck.Semantics.nodes = 2; addrs = 1; ops; capacity; io_addrs = [];
+          lossy = false },
+        symmetry ))
+
+let print_steal_case (cfg, symmetry) =
+  Printf.sprintf "ops=[%s] capacity=%d symmetry=%b"
+    (String.concat ";" cfg.Mcheck.Semantics.ops)
+    cfg.Mcheck.Semantics.capacity symmetry
+
+let prop_mcheck_steal_diff =
+  QCheck.Test.make ~count:40
+    ~name:
+      "packed engines (seq-packed, steal at 1/2/4 domains) match the boxed \
+       reference on complete searches"
+    (QCheck.make steal_case_gen ~print:print_steal_case)
+    (fun (cfg, symmetry) ->
+      let go engine =
+        observe_order_free
+          (Mcheck.Explore.run ~max_states:50_000 ~symmetry ~engine
+             ~tables:(Lazy.force mcheck_tables) ~keep_states:true cfg)
+      in
+      let reference = Par.Pool.with_domains 1 (fun () -> go `Seq) in
+      let _, _, _, _, complete, _ = reference in
+      complete
+      && Par.Pool.with_domains 1 (fun () -> go `Seq_packed) = reference
+      && List.for_all
+           (fun d -> Par.Pool.with_domains d (fun () -> go `Steal) = reference)
+           domains_swept)
+
+(* Truncated searches visit a schedule-dependent SUBSET, but the atomic
+   ticket budget makes the expansion count itself exact: explored and the
+   completeness verdict still match the reference at any domain count. *)
+let prop_mcheck_steal_bounded =
+  QCheck.Test.make ~count:100
+    ~name:"bounded steal search expands exactly max_states at 1/2/4 domains"
+    (QCheck.make mcheck_case_gen ~print:(fun (cfg, max_states, symmetry) ->
+         Printf.sprintf "ops=[%s] capacity=%d max_states=%d symmetry=%b"
+           (String.concat ";" cfg.Mcheck.Semantics.ops)
+           cfg.Mcheck.Semantics.capacity max_states symmetry))
+    (fun (cfg, max_states, symmetry) ->
+      let go engine =
+        let r =
+          Mcheck.Explore.run ~max_states ~symmetry ~engine
+            ~tables:(Lazy.force mcheck_tables) cfg
+        in
+        r.Mcheck.Explore.explored, r.Mcheck.Explore.complete
+      in
+      let reference = Par.Pool.with_domains 1 (fun () -> go `Seq) in
+      List.for_all
+        (fun d -> Par.Pool.with_domains d (fun () -> go `Steal) = reference)
+        domains_swept)
+
+(* Coverage is recorded from inside worker domains and OR-merged; the
+   merged bitmaps must be byte-identical to the sequential engine's. *)
+let test_steal_coverage_matches_seq () =
+  let cfg =
+    { Mcheck.Semantics.nodes = 2; addrs = 1; ops = [ "load"; "store" ];
+      capacity = 2; io_addrs = []; lossy = false }
+  in
+  let snap engine d =
+    Par.Pool.with_domains d (fun () ->
+        Obs.Coverage.reset ();
+        ignore
+          (Mcheck.Explore.run ~max_states:50_000 ~engine
+             ~tables:(Lazy.force mcheck_tables) cfg);
+        List.map
+          (fun (tc : Obs.Coverage.table_coverage) ->
+            tc.name, tc.rows, tc.covered, Bytes.to_string tc.bitmap)
+          (Obs.Coverage.snapshot ()))
+  in
+  Obs.Coverage.with_enabled (fun () ->
+      let reference = snap `Seq 1 in
+      Alcotest.(check bool)
+        "sequential run covered something" true
+        (List.exists (fun (_, _, covered, _) -> covered > 0) reference);
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "steal coverage bitmaps at %d domains" d)
+            true
+            (snap `Steal d = reference))
+        domains_swept;
+      Obs.Coverage.reset ())
+
+(* A seeded protocol bug: the stealing path must report the SAME
+   violation — kind, detail, trace and rendered sequence chart — because
+   on first contact it stops and replays the search sequentially.  This
+   pins the replay wiring, not just the verdict. *)
+let test_steal_seeded_bug_matches_seq () =
+  let spec' =
+    Protocol.Ctrl_spec.drop_scenario Protocol.Dir_controller.spec
+      "readex-idone-sd-last"
+  in
+  let tables' = Mcheck.Semantics.load_tables_with ~dir:spec' () in
+  let cfg =
+    { Mcheck.Semantics.nodes = 3; addrs = 1; ops = [ "load"; "store" ];
+      capacity = 3; io_addrs = []; lossy = false }
+  in
+  let viol engine d =
+    Par.Pool.with_domains d (fun () ->
+        (Mcheck.Explore.run ~max_states:200_000 ~engine ~tables:tables' cfg)
+          .Mcheck.Explore.violation)
+  in
+  match viol `Seq 1 with
+  | None -> Alcotest.fail "seeded hang not found by the reference engine"
+  | Some v ->
+      Alcotest.(check bool) "reference has a trace" true (v.trace <> []);
+      let msc = Sim.Msc.render_run v.Mcheck.Explore.trace in
+      List.iter
+        (fun d ->
+          match viol `Steal d with
+          | None ->
+              Alcotest.fail
+                (Printf.sprintf "steal at %d domains missed the seeded hang" d)
+          | Some w ->
+              Alcotest.(check bool)
+                (Printf.sprintf "identical violation at %d domains" d)
+                true (w = v);
+              Alcotest.(check string)
+                (Printf.sprintf "identical sequence chart at %d domains" d)
+                msc
+                (Sim.Msc.render_run w.Mcheck.Explore.trace))
+        domains_swept
+
+(* Golden witness: the Figure 4 wedged configuration (VC2 and VC4
+   mutually occupied under the paper's pre-fix assignment) survives a
+   round trip through the production packing layout bit-exactly, and its
+   canonical vector is stable.  Pins both the scenario and the packed
+   path against drift. *)
+let test_figure4_witness_packs () =
+  let result, _, wedged =
+    Sim.Scenario.figure4_wedged Checker.Vcassign.with_vc4
+  in
+  (match result with
+  | Sim.Runner.Deadlock { occupancy; _ } ->
+      Alcotest.(check bool) "VC2 occupied" true (List.mem_assoc "VC2" occupancy);
+      Alcotest.(check bool) "VC4 occupied" true (List.mem_assoc "VC4" occupancy)
+  | Sim.Runner.Quiescent _ -> Alcotest.fail "expected the Figure 4 deadlock");
+  let cfg =
+    { Mcheck.Semantics.nodes = 3; addrs = 2; ops = [ "load"; "store" ];
+      capacity = 2; io_addrs = []; lossy = false }
+  in
+  let layout =
+    Mcheck.Explore.layout_of_tables (Lazy.force mcheck_tables) cfg
+  in
+  (* the simulator can leave strings outside the model-checker vocabulary
+     in flight; dictionary growth is part of what this pins *)
+  let rec pack_growing l fuel =
+    match Mcheck.Pack.pack l wedged with
+    | v -> l, v
+    | exception Mcheck.Pack.Overflow _ when fuel > 0 ->
+        pack_growing (Mcheck.Pack.refresh l) (fuel - 1)
+  in
+  let layout, v = pack_growing layout 16 in
+  Alcotest.(check bool)
+    "wedged state round-trips through the packed representation" true
+    (Mcheck.Pack.unpack layout v = wedged);
+  Alcotest.(check bool)
+    "canonical vector is reproducible" true
+    (Mcheck.Pack.equal
+       (Mcheck.Pack.canonical layout wedged)
+       (Mcheck.Pack.canonical layout wedged))
+
+(* The deadlock-V-vc4 seq/par regression root cause: the old level engine
+   paid a Domain.spawn per BFS level.  Workers are resident now — once
+   the pool is warm, repeated multi-level searches on ANY engine must not
+   spawn a single additional domain. *)
+let test_pool_spawns_no_new_domains () =
+  let cfg =
+    { Mcheck.Semantics.nodes = 2; addrs = 1; ops = [ "load"; "store" ];
+      capacity = 2; io_addrs = []; lossy = false }
+  in
+  Par.Pool.with_domains 4 (fun () ->
+      (* warm the pool to its high-water mark *)
+      ignore (Par.Pool.map_list ~min_chunk:1 Fun.id [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+      let before = Obs.Metrics.aggregate "spawn" in
+      for _ = 1 to 3 do
+        List.iter
+          (fun engine ->
+            ignore
+              (Mcheck.Explore.run ~max_states:2_000 ~engine
+                 ~tables:(Lazy.force mcheck_tables) cfg))
+          [ `Level; `Steal ]
+      done;
+      Alcotest.(check int)
+        "no extra Domain.spawn across repeated multi-level searches" 0
+        (Obs.Metrics.aggregate "spawn" - before))
 
 let suite =
   [
@@ -221,4 +434,14 @@ let suite =
     Test_seed.to_alcotest prop_join_diff;
     Test_seed.to_alcotest prop_deadlock_diff;
     Test_seed.to_alcotest prop_mcheck_diff;
+    Test_seed.to_alcotest prop_mcheck_steal_diff;
+    Test_seed.to_alcotest prop_mcheck_steal_bounded;
+    Alcotest.test_case "steal coverage bitmaps merge to sequential" `Quick
+      test_steal_coverage_matches_seq;
+    Alcotest.test_case "steal replays seeded bug identically" `Slow
+      test_steal_seeded_bug_matches_seq;
+    Alcotest.test_case "figure 4 witness packs" `Quick
+      test_figure4_witness_packs;
+    Alcotest.test_case "resident pool spawns no new domains" `Quick
+      test_pool_spawns_no_new_domains;
   ]
