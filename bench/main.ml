@@ -188,6 +188,24 @@ let rep_workloads =
         Listrep.cardinality
           (Listrep.equi_join ~on:[ "dirst", "dirst"; "dirpv", "dirpv" ] d states)
         + List.length (Listrep.group_count ~by:[ "inmsg"; "dirst" ] d) );
+    (* the same join+group workload through the cost-based planner's
+       vectorized batch engine vs. the row-at-a-time list-of-rows
+       reference — the pair the planner PR is gated on (join-group above
+       shows the pre-planner columnar operators stuck near 1.0x on it) *)
+    ( "join-group-planner",
+      (fun () ->
+        let d = Lazy.force rep_d in
+        let states = Planner.distinct (Ops.project [ "dirst"; "dirpv" ] d) in
+        Table.cardinality
+          (Planner.equi_join ~on:[ "dirst", "dirst"; "dirpv", "dirpv" ] d
+             states)
+        + Table.cardinality (Planner.group_count ~by:[ "inmsg"; "dirst" ] d)),
+      fun () ->
+        let d = Lazy.force rep_dl in
+        let states = Listrep.distinct (Listrep.project [ "dirst"; "dirpv" ] d) in
+        Listrep.cardinality
+          (Listrep.equi_join ~on:[ "dirst", "dirst"; "dirpv", "dirpv" ] d states)
+        + List.length (Listrep.group_count ~by:[ "inmsg"; "dirst" ] d) );
   ]
 
 (* Both sides of every pair must compute the same answer, or the

@@ -1037,14 +1037,28 @@ let explain_cmd =
   in
   let run () query analyze indexes json_flag =
     if analyze then begin
-      let store = Relalg.Physical.make_store (Protocol.database ()) in
-      let r = Relalg.Analyze.run ~indexes store query in
-      if json_flag then
-        print_endline (Obs.Json.to_string (Relalg.Analyze.to_json r))
-      else
-        Printf.printf "physical plan:\n%s\nexecution:\n%s"
-          (Relalg.Physical.explain r.Relalg.Analyze.physical)
-          (Relalg.Analyze.render r)
+      let db = Protocol.database () in
+      (* --index forces the reference physical engine (the planner has
+         no index access paths); otherwise the cost-based planner runs
+         the vectorized engine and reports estimated vs. actual rows *)
+      if Relalg.Planner.active () && indexes = [] then begin
+        let r = Relalg.Planner.analyze db query in
+        if json_flag then
+          print_endline (Obs.Json.to_string (Relalg.Planner.to_json r))
+        else
+          Printf.printf "planner (est vs actual):\n%s"
+            (Relalg.Planner.render_report r)
+      end
+      else begin
+        let store = Relalg.Physical.make_store db in
+        let r = Relalg.Analyze.run ~indexes store query in
+        if json_flag then
+          print_endline (Obs.Json.to_string (Relalg.Analyze.to_json r))
+        else
+          Printf.printf "physical plan:\n%s\nexecution:\n%s"
+            (Relalg.Physical.explain r.Relalg.Analyze.physical)
+            (Relalg.Analyze.render r)
+      end
     end
     else begin
       if json_flag then begin
@@ -1054,7 +1068,10 @@ let explain_cmd =
       let plan = Relalg.Plan.of_query (Relalg.Sql_parser.parse_query query) in
       Printf.printf "plan:\n%s\noptimized:\n%s"
         (Relalg.Plan.explain plan)
-        (Relalg.Plan.explain (Relalg.Plan.optimize plan))
+        (Relalg.Plan.explain (Relalg.Plan.optimize plan));
+      if Relalg.Planner.active () then
+        Printf.printf "cost-based (est rows, cumulative cost):\n%s"
+          (Relalg.Planner.explain (Protocol.database ()) query)
     end
   in
   Cmd.v

@@ -103,27 +103,52 @@ let merge_origin a b =
 let compose_core ~ignore_messages ~placement (n1, t1) (n2, t2) =
   let reloc t = List.map (fun e -> (relocate placement e.dep, e.origin)) t in
   let t1 = reloc t1 and t2 = reloc t2 in
-  List.concat_map
-    (fun (r, ro) ->
-      List.filter_map
-        (fun (s, so) ->
-          if matches ~ignore_messages r.output s.input then
-            Some
-              {
-                dep = { input = r.input; output = s.output };
-                provenance =
-                  Composed
-                    {
-                      first = n1;
-                      second = n2;
-                      placement;
-                      exact = not ignore_messages;
-                    };
-                origin = merge_origin ro so;
-              }
-          else None)
-        t2)
-    t1
+  let provenance =
+    Composed
+      { first = n1; second = n2; placement; exact = not ignore_messages }
+  in
+  let entry (r, ro) (s, so) =
+    {
+      dep = { input = r.input; output = s.output };
+      provenance;
+      origin = merge_origin ro so;
+    }
+  in
+  if Relalg.Planner.enabled () && List.compare_length_with t2 8 > 0 then begin
+    (* hash-join shape: bucket the inner side by its match key once
+       instead of scanning it per outer entry.  Buckets keep [t2] order,
+       and [t1] drives iteration, so the output order is exactly the
+       nested loop's. *)
+    let key a =
+      a.src ^ "\x00" ^ a.dst ^ "\x00" ^ a.vc
+      ^ if ignore_messages then "" else "\x00" ^ a.msg
+    in
+    let buckets = Hashtbl.create (2 * List.length t2) in
+    List.iter
+      (fun ((s, _) as e) ->
+        let k = key s.input in
+        Hashtbl.replace buckets k
+          (match Hashtbl.find_opt buckets k with
+          | Some tail -> e :: tail
+          | None -> [ e ]))
+      (List.rev t2);
+    List.concat_map
+      (fun ((r, _) as outer) ->
+        match Hashtbl.find_opt buckets (key r.output) with
+        | None -> []
+        | Some inners -> List.map (entry outer) inners)
+      t1
+  end
+  else
+    List.concat_map
+      (fun ((r, _) as outer) ->
+        List.filter_map
+          (fun ((s, _) as inner) ->
+            if matches ~ignore_messages r.output s.input then
+              Some (entry outer inner)
+            else None)
+          t2)
+      t1
 
 (* per-placement-relation match counts for the composition pass *)
 let record_matches placement matched =

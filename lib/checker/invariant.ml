@@ -118,11 +118,11 @@ let request_coverage_check db =
   let issued = distinct_values pif "reqmsg" in
   let served =
     distinct_values
-      (Ops.select (Expr.eq "bdirlookup" "miss") d)
+      (Planner.select (Expr.eq "bdirlookup" "miss") d)
       "inmsg"
   in
   let retried =
-    distinct_values (Ops.select (Expr.eq "locmsg" "retry") d) "inmsg"
+    distinct_values (Planner.select (Expr.eq "locmsg" "retry") d) "inmsg"
   in
   let bad =
     List.concat_map
@@ -182,7 +182,7 @@ let busy_lifecycle_check db =
   let families op col =
     List.sort_uniq compare
       (List.filter_map busy_family
-         (distinct_values (Ops.select (Expr.eq "bdirop" op) d) col))
+         (distinct_values (Planner.select (Expr.eq "bdirop" op) d) col))
   in
   let allocated = families "alloc" "nxtbdirst" in
   let deallocated = families "dealloc" "bdirst" in
@@ -206,12 +206,12 @@ let busy_progress_check db =
   let d = Database.find db "D" in
   let entered =
     List.sort_uniq String.compare
-      (distinct_values (Ops.select (Expr.neq "bdirop" "dealloc") d) "nxtbdirst")
+      (distinct_values (Planner.select (Expr.neq "bdirop" "dealloc") d) "nxtbdirst")
   in
   let consumed_by state msgs =
     not
       (Table.is_empty
-         (Ops.select
+         (Planner.select
             Expr.(eq "bdirst" state &&& isin "inmsg" msgs)
             d))
   in

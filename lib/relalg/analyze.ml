@@ -50,6 +50,10 @@ let describe : Physical.t -> string = function
   | Physical.Union _ -> "union"
   | Physical.Except _ -> "except"
   | Physical.Intersect _ -> "intersect"
+  | Physical.Join (on, _, _) ->
+      Printf.sprintf "hash join [%s]"
+        (String.concat ", "
+           (List.map (fun (l, r) -> Printf.sprintf "%s=%s" l r) on))
   | Physical.Count _ -> "count"
   | Physical.Group_count (cols, _) ->
       Printf.sprintf "group count by [%s]" (String.concat ", " cols)
@@ -133,6 +137,10 @@ let rec execute store (p : Physical.t) : Table.t * node =
       let ta, ca = execute store a in
       let tb, cb = execute store b in
       finish [ ca; cb ] (Ops.intersect ta tb)
+  | Physical.Join (on, a, b) ->
+      let ta, ca = execute store a in
+      let tb, cb = execute store b in
+      finish [ ca; cb ] (Ops.equi_join ~on ta tb)
   | Physical.Count inner ->
       let t, c = execute store inner in
       finish [ c ]

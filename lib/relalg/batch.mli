@@ -1,0 +1,94 @@
+(** Vectorized physical operators over fixed-size batches of dictionary
+    codes.
+
+    The row-at-a-time engine in {!Ops} interprets one {!Value} row per
+    operator call; this module is the batch-of-codes alternative the
+    cost-based planner ({!Planner}) compiles to.  A {!source} streams
+    batches of up to {!batch_rows} rows as plain [int] code vectors over
+    per-operator column buffers, so selection and projection inner loops
+    are tight integer loops with no per-row boxing, and the blocking
+    operators (join/group/distinct/sort/top-k) key their hash and
+    direct-address indexes on combined dictionary codes instead of
+    polymorphic row hashing.
+
+    Every operator preserves the reference engine's ordering semantics:
+    select/project/limit keep input order, distinct and group are
+    first-occurrence, sort is stable under {!Value.order}, and
+    {!join_tables} emits pairs in the same (left-major, right ascending)
+    order as {!Ops.equi_join} — differentially tested in the suite.
+
+    Lineage is not propagated here: callers gate on
+    {!Lineage.tracking} / {!Table.lineage} and fall back to {!Ops}
+    (and {!join_tables} double-checks, delegating to {!Ops.equi_join}
+    when either input carries lineage). *)
+
+val batch_rows : int
+(** Rows per batch (1024). *)
+
+type source
+(** A pull-based stream of batches.  Each pull refills the source's own
+    stable column buffers and returns the number of valid rows, so
+    compiled predicates can bind to the buffers once, before the first
+    pull. *)
+
+val schema : source -> Schema.t
+
+val of_table : Table.t -> source
+(** Stream a table's code buffers in windows of {!batch_rows} rows. *)
+
+val select : ?funcs:Expr.funcs -> Expr.t -> source -> source
+(** Filter with a predicate compiled once against the input buffers
+    ({!Expr.compile_columns}); surviving rows are gathered contiguously,
+    preserving order. *)
+
+val project : string list -> source -> source
+(** Zero-copy column selection: aliases the parent's buffers. *)
+
+val limit : int -> source -> source
+(** First [n] rows; stops pulling upstream once satisfied. *)
+
+val tap : (int -> unit) -> source -> source
+(** Observe the stream: [f] is called with each non-empty batch's row
+    count — how the planner records actual per-operator cardinalities
+    for [EXPLAIN --analyze] without materializing. *)
+
+val count : source -> int
+(** Drain, counting rows. *)
+
+val to_table : name:string -> source -> Table.t
+(** Drain into a table sharing the source's dictionaries. *)
+
+val group_table : by:string list -> source -> Table.t
+(** [GROUP BY … COUNT]: one row per distinct key in first-occurrence
+    order, schema [by @ ["count"]], named ["<group>"].  Uses a dense
+    direct-address index when the product of key-dictionary sizes is
+    small, an open-addressing code-keyed hash table otherwise. *)
+
+val distinct_table : name:string -> source -> Table.t
+(** First-occurrence dedup over whole rows (same index strategy as
+    {!group_table}). *)
+
+val sort_table : name:string -> (string * [ `Asc | `Desc ]) list -> source -> Table.t
+(** Stable sort under {!Value.order}, matching {!Ops.order_by}. *)
+
+val topk_table :
+  name:string -> int -> (string * [ `Asc | `Desc ]) list -> source -> Table.t
+(** First [k] rows of the stable sort, computed with a bounded
+    sorted-insertion buffer instead of materializing and sorting the
+    whole input — the planner's rewrite of [LIMIT k] over [ORDER BY]. *)
+
+val join_tables :
+  ?build_left:bool ->
+  on:(string * string) list ->
+  Table.t ->
+  Table.t ->
+  Table.t
+(** Hash equi-join keyed on dictionary codes (right-side key codes are
+    translated into the left dictionaries, so probe compares are integer
+    equality).  Output rows, schema and name match {!Ops.equi_join}
+    exactly, whichever side is built: when the left (smaller) side is the
+    build side, matches are restored to left-major order by a stable
+    counting sort.  [?build_left] overrides the cardinality heuristic
+    (used by tests).
+
+    @raise Ops.Schema_clash on non-key column name collisions. *)

@@ -19,6 +19,7 @@ type t =
   | Intersect of t * t
   | Count of t
   | Group_count of string list * t
+  | Join of (string * string) list * t * t
   | Empty of string list
 
 (* The index cache is keyed by (table name, column) but each entry also
@@ -88,6 +89,8 @@ let rec physicalize ~indexes (p : Plan.t) : t =
   | Plan.Count inner -> Count (physicalize ~indexes inner)
   | Plan.Group_count (cols, inner) ->
       Group_count (cols, physicalize ~indexes inner)
+  | Plan.Join (on, a, b) ->
+      Join (on, physicalize ~indexes a, physicalize ~indexes b)
   | Plan.Empty cols -> Empty cols
 
 let execute_access store = function
@@ -109,6 +112,7 @@ let rec execute store = function
   | Union (a, b) -> Ops.union (execute store a) (execute store b)
   | Except (a, b) -> Ops.except (execute store a) (execute store b)
   | Intersect (a, b) -> Ops.intersect (execute store a) (execute store b)
+  | Join (on, a, b) -> Ops.equi_join ~on (execute store a) (execute store b)
   | Count inner ->
       Table.of_rows ~name:"<count>"
         (Schema.of_list [ "count" ])
@@ -170,6 +174,12 @@ let explain p =
     | Union (a, b) -> pr "union"; go (indent + 2) a; go (indent + 2) b
     | Except (a, b) -> pr "except"; go (indent + 2) a; go (indent + 2) b
     | Intersect (a, b) -> pr "intersect"; go (indent + 2) a; go (indent + 2) b
+    | Join (on, a, b) ->
+        pr "hash join [%s]"
+          (String.concat ", "
+             (List.map (fun (l, r) -> Printf.sprintf "%s=%s" l r) on));
+        go (indent + 2) a;
+        go (indent + 2) b
     | Empty cols -> pr "empty [%s]" (String.concat ", " cols)
   in
   go 0 p;

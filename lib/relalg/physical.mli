@@ -32,6 +32,7 @@ type t =
   | Intersect of t * t
   | Count of t
   | Group_count of string list * t
+  | Join of (string * string) list * t * t
   | Empty of string list
 
 type store

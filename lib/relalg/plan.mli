@@ -24,6 +24,9 @@ type t =
   | Intersect of t * t
   | Count of t  (** row count of the subplan *)
   | Group_count of string list * t  (** one row per key with a count *)
+  | Join of (string * string) list * t * t
+      (** equi-join on [(left col, right col)] pairs; output schema is all
+          left columns then the non-key right columns, as {!Ops.equi_join} *)
   | Empty of string list  (** a provably-empty relation with this schema *)
 
 val of_query : Sql_ast.query -> t

@@ -1,0 +1,499 @@
+(* Cost-based planning: annotate a logical {!Plan.t} with cardinality
+   estimates from per-column dictionary sizes and table row counts, pick
+   physical operators (hash-join build side, top-k instead of
+   sort-then-limit), and execute through the vectorized {!Batch} layer.
+   The row-at-a-time {!Ops} path stays behind as the reference engine:
+   [ASURA_PLANNER=off] disables planning globally, and lineage tracking
+   disables it implicitly because batches carry no provenance. *)
+
+let enabled () =
+  match Sys.getenv_opt "ASURA_PLANNER" with
+  | Some ("off" | "0" | "false" | "OFF") -> false
+  | _ -> true
+
+let active () = enabled () && not (Lineage.tracking ())
+
+(* ------------------------- annotated plans ---------------------------- *)
+
+type keys = (string * [ `Asc | `Desc ]) list
+
+type op =
+  | Scan of string
+  | Filter of Expr.t
+  | Project of string list
+  | Distinct
+  | Sort of keys
+  | Topk of int * keys
+  | Limit of int
+  | Hash_join of { on : (string * string) list; build_left : bool }
+  | Union
+  | Except
+  | Intersect
+  | Count
+  | Group of string list
+  | Nothing of string list
+
+type t = {
+  op : op;
+  est : float;  (* estimated output rows *)
+  cost : float;  (* cumulative cost estimate, in abstract row-touches *)
+  mutable actual : int;  (* output rows observed by execution; -1 before *)
+  children : t list;
+}
+
+(* --------------------------- statistics ------------------------------- *)
+
+(* Estimated row count plus per-column number of distinct values.  Base
+   ndv comes straight from the columnar storage: every column's
+   dictionary size is an exact distinct count of the values ever
+   interned, capped by the current cardinality. *)
+type stats = { rows : float; cols : string list; ndv : (string * float) list }
+
+let ndv_of st c =
+  match List.assoc_opt c st.ndv with
+  | Some n -> max 1. n
+  | None -> max 1. (min st.rows 16.)
+
+(* Cap every ndv by a new (smaller) row estimate. *)
+let restrict st rows =
+  let rows = max 0. rows in
+  { st with rows; ndv = List.map (fun (c, n) -> (c, min n (max 1. rows))) st.ndv }
+
+let scan_stats db name =
+  let t = Database.find db name in
+  let rows = float_of_int (Table.cardinality t) in
+  let cols = Schema.columns (Table.schema t) in
+  let ndv =
+    List.mapi
+      (fun j c -> (c, min (max 1. rows) (float_of_int (Dict.size (Table.dict t j)))))
+      cols
+  in
+  { rows; cols; ndv }
+
+(* Textbook selectivities over dictionary ndv: equality selects 1/ndv,
+   range predicates a third, IN k values k/ndv, registered functions an
+   uninformed half; connectives assume independence. *)
+let rec selectivity st (e : Expr.t) =
+  match e with
+  | Expr.True -> 1.
+  | Expr.False -> 0.
+  | Expr.Eq (Expr.Col c, Expr.Const _) | Expr.Eq (Expr.Const _, Expr.Col c) ->
+      1. /. ndv_of st c
+  | Expr.Eq (Expr.Col a, Expr.Col b) -> 1. /. max (ndv_of st a) (ndv_of st b)
+  | Expr.Eq (Expr.Const _, Expr.Const _) -> 0.5
+  | Expr.Neq (a, b) -> 1. -. selectivity st (Expr.Eq (a, b))
+  | Expr.Cmp _ -> 1. /. 3.
+  | Expr.In (Expr.Col c, vs) ->
+      min 1. (float_of_int (List.length vs) /. ndv_of st c)
+  | Expr.In _ -> 0.5
+  | Expr.Fn _ -> 0.5
+  | Expr.And (a, b) -> selectivity st a *. selectivity st b
+  | Expr.Or (a, b) ->
+      let sa = selectivity st a and sb = selectivity st b in
+      sa +. sb -. (sa *. sb)
+  | Expr.Not a -> 1. -. selectivity st a
+  | Expr.Ternary (c, a, b) ->
+      let sc = selectivity st c in
+      (sc *. selectivity st a) +. ((1. -. sc) *. selectivity st b)
+
+(* Estimated distinct rows over [cols]: product of per-column ndv,
+   capped by the row count. *)
+let distinct_est st cols =
+  min st.rows (List.fold_left (fun acc c -> acc *. ndv_of st c) 1. cols)
+
+let nlogn n = n *. (log (max 2. n) /. log 2.)
+
+(* ------------------------ planner rewrites ---------------------------- *)
+
+(* Output columns of a plan, resolving bare scans against the database
+   (unlike {!Plan.schema_hint}, which is database-free). *)
+let rec plan_cols db (p : Plan.t) =
+  match p with
+  | Plan.Scan name -> (
+      match Database.find_opt db name with
+      | Some t -> Some (Schema.columns (Table.schema t))
+      | None -> None)
+  | Plan.Project (cols, _) | Plan.Empty cols -> Some cols
+  | Plan.Select (_, p) | Plan.Distinct p | Plan.Sort (_, p) | Plan.Limit (_, p)
+    ->
+      plan_cols db p
+  | Plan.Union (a, b) | Plan.Except (a, b) | Plan.Intersect (a, b) -> (
+      match plan_cols db a with Some c -> Some c | None -> plan_cols db b)
+  | Plan.Count _ -> Some [ "count" ]
+  | Plan.Group_count (cols, _) -> Some (cols @ [ "count" ])
+  | Plan.Join (on, a, b) -> (
+      match (plan_cols db a, plan_cols db b) with
+      | Some ca, Some cb ->
+          let keys = List.map snd on in
+          Some (ca @ List.filter (fun c -> not (List.mem c keys)) cb)
+      | _ -> None)
+
+let rec conjuncts = function
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* Push a selection's conjuncts below a join into whichever side covers
+   their free columns.  A join emits pairs in left-major order, so
+   filtering a side before joining yields exactly the surviving pairs in
+   the same relative order as filtering after — the rewrite is
+   order-preserving, not just multiset-preserving.  {!Plan.rewrite}
+   leaves this case alone because it cannot resolve scan schemas. *)
+let rec push_into_joins db (p : Plan.t) : Plan.t =
+  match p with
+  | Plan.Scan _ | Plan.Empty _ -> p
+  | Plan.Select (e, inner) -> (
+      match push_into_joins db inner with
+      | Plan.Join (on, a, b) as j -> (
+          match (plan_cols db a, plan_cols db b) with
+          | Some ca, Some cb ->
+              let keys = List.map snd on in
+              let kept_b = List.filter (fun c -> not (List.mem c keys)) cb in
+              let la, lb, above =
+                List.fold_left
+                  (fun (la, lb, above) c ->
+                    let free = Expr.free_columns c in
+                    if List.for_all (fun x -> List.mem x ca) free then
+                      (c :: la, lb, above)
+                    else if List.for_all (fun x -> List.mem x kept_b) free then
+                      (la, c :: lb, above)
+                    else (la, lb, c :: above))
+                  ([], [], []) (conjuncts e)
+              in
+              let wrap side = function
+                | [] -> side
+                | es -> push_into_joins db (Plan.Select (Expr.conj (List.rev es), side))
+              in
+              let j = Plan.Join (on, wrap a la, wrap b lb) in
+              (match above with
+              | [] -> j
+              | es -> Plan.Select (Expr.conj (List.rev es), j))
+          | _ -> Plan.Select (e, j))
+      | inner -> Plan.Select (e, inner))
+  | Plan.Project (cols, inner) -> Plan.Project (cols, push_into_joins db inner)
+  | Plan.Distinct inner -> Plan.Distinct (push_into_joins db inner)
+  | Plan.Sort (keys, inner) -> Plan.Sort (keys, push_into_joins db inner)
+  | Plan.Limit (n, inner) -> Plan.Limit (n, push_into_joins db inner)
+  | Plan.Count inner -> Plan.Count (push_into_joins db inner)
+  | Plan.Group_count (cols, inner) ->
+      Plan.Group_count (cols, push_into_joins db inner)
+  | Plan.Union (a, b) -> Plan.Union (push_into_joins db a, push_into_joins db b)
+  | Plan.Except (a, b) ->
+      Plan.Except (push_into_joins db a, push_into_joins db b)
+  | Plan.Intersect (a, b) ->
+      Plan.Intersect (push_into_joins db a, push_into_joins db b)
+  | Plan.Join (on, a, b) ->
+      Plan.Join (on, push_into_joins db a, push_into_joins db b)
+
+(* ---------------------------- annotation ------------------------------ *)
+
+let node op est cost children = { op; est; cost; actual = -1; children }
+
+let rec annotate db (p : Plan.t) : t * stats =
+  match p with
+  | Plan.Scan name ->
+      let st = scan_stats db name in
+      (node (Scan name) st.rows st.rows [], st)
+  | Plan.Select (e, inner) ->
+      let c, st = annotate db inner in
+      let rows = st.rows *. selectivity st (Plan.simplify_predicate e) in
+      (node (Filter e) rows (c.cost +. st.rows) [ c ], restrict st rows)
+  | Plan.Project (cols, inner) ->
+      let c, st = annotate db inner in
+      let st =
+        { st with cols; ndv = List.filter (fun (c, _) -> List.mem c cols) st.ndv }
+      in
+      (* zero-copy column aliasing: no per-row cost *)
+      (node (Project cols) st.rows c.cost [ c ], st)
+  | Plan.Distinct inner ->
+      let c, st = annotate db inner in
+      let rows = distinct_est st st.cols in
+      (node Distinct rows (c.cost +. st.rows) [ c ], restrict st rows)
+  (* LIMIT over ORDER BY (with or without an intervening projection,
+     which preserves order) is a top-k: keep a bounded buffer of the k
+     least rows instead of sorting everything. *)
+  | Plan.Limit (n, Plan.Sort (keys, inner)) ->
+      let c, st = annotate db inner in
+      let rows = min st.rows (float_of_int n) in
+      ( node (Topk (n, keys))
+          rows
+          (c.cost +. (st.rows *. (log (max 2. (float_of_int n)) /. log 2.)))
+          [ c ],
+        restrict st rows )
+  | Plan.Limit (n, Plan.Project (cols, Plan.Sort (keys, inner))) ->
+      let topk, st = annotate db (Plan.Limit (n, Plan.Sort (keys, inner))) in
+      let st =
+        { st with cols; ndv = List.filter (fun (c, _) -> List.mem c cols) st.ndv }
+      in
+      (node (Project cols) st.rows topk.cost [ topk ], st)
+  | Plan.Sort (keys, inner) ->
+      let c, st = annotate db inner in
+      (node (Sort keys) st.rows (c.cost +. nlogn st.rows) [ c ], st)
+  | Plan.Limit (n, inner) ->
+      let c, st = annotate db inner in
+      let rows = min st.rows (float_of_int n) in
+      (node (Limit n) rows (c.cost +. rows) [ c ], restrict st rows)
+  | Plan.Count inner ->
+      let c, st = annotate db inner in
+      ( node Count 1. (c.cost +. st.rows) [ c ],
+        { rows = 1.; cols = [ "count" ]; ndv = [ ("count", 1.) ] } )
+  | Plan.Group_count (cols, inner) ->
+      let c, st = annotate db inner in
+      let rows = distinct_est st cols in
+      let ndv =
+        List.map (fun g -> (g, min rows (ndv_of st g))) cols
+        @ [ ("count", rows) ]
+      in
+      ( node (Group cols) rows (c.cost +. st.rows) [ c ],
+        { rows; cols = cols @ [ "count" ]; ndv } )
+  | Plan.Join (on, a, b) ->
+      let ca, sta = annotate db a and cb, stb = annotate db b in
+      let key_sel =
+        List.fold_left
+          (fun acc (l, r) -> acc /. max (ndv_of sta l) (ndv_of stb r))
+          1. on
+      in
+      let rows = sta.rows *. stb.rows *. key_sel in
+      (* build the hash index on the estimated-smaller side *)
+      let build_left = sta.rows <= stb.rows in
+      let keys = List.map snd on in
+      let kept_b = List.filter (fun c -> not (List.mem c keys)) stb.cols in
+      let ndv =
+        List.map (fun (c, n) -> (c, min n (max 1. rows))) sta.ndv
+        @ List.filter_map
+            (fun (c, n) ->
+              if List.mem c kept_b then Some (c, min n (max 1. rows)) else None)
+            stb.ndv
+      in
+      ( node
+          (Hash_join { on; build_left })
+          rows
+          (ca.cost +. cb.cost +. sta.rows +. stb.rows +. rows)
+          [ ca; cb ],
+        { rows; cols = sta.cols @ kept_b; ndv } )
+  | Plan.Union (a, b) ->
+      let ca, sta = annotate db a and cb, stb = annotate db b in
+      let merged =
+        {
+          rows = sta.rows +. stb.rows;
+          cols = sta.cols;
+          ndv = List.map (fun (c, n) -> (c, max n (ndv_of stb c))) sta.ndv;
+        }
+      in
+      let rows = distinct_est merged merged.cols in
+      ( node Union rows (ca.cost +. cb.cost +. merged.rows) [ ca; cb ],
+        restrict merged rows )
+  | Plan.Except (a, b) ->
+      let ca, sta = annotate db a and cb, stb = annotate db b in
+      let rows = distinct_est sta sta.cols *. 0.5 in
+      ( node Except rows (ca.cost +. cb.cost +. sta.rows +. stb.rows) [ ca; cb ],
+        restrict sta rows )
+  | Plan.Intersect (a, b) ->
+      let ca, sta = annotate db a and cb, stb = annotate db b in
+      let rows = min (distinct_est sta sta.cols) (distinct_est stb stb.cols) *. 0.5 in
+      ( node Intersect rows
+          (ca.cost +. cb.cost +. sta.rows +. stb.rows)
+          [ ca; cb ],
+        restrict sta rows )
+  | Plan.Empty cols ->
+      ( node (Nothing cols) 0. 0. [],
+        { rows = 0.; cols; ndv = List.map (fun c -> (c, 1.)) cols } )
+
+let plan db (p : Plan.t) : t =
+  fst (annotate db (push_into_joins db (Plan.optimize p)))
+
+(* ---------------------------- execution ------------------------------- *)
+
+(* Streaming nodes compose {!Batch} sources, tapped so [actual] counts
+   accumulate per operator; blocking nodes materialize tables (their
+   [actual] is the result cardinality) and re-enter the stream via
+   {!Batch.of_table}. *)
+let rec source_of db (n : t) : Batch.source =
+  match (n.op, n.children) with
+  | Scan name, [] ->
+      let t = Database.find db name in
+      n.actual <- Table.cardinality t;
+      Batch.of_table t
+  | Filter e, [ c ] ->
+      n.actual <- 0;
+      Batch.tap
+        (fun b -> n.actual <- n.actual + b)
+        (Batch.select ~funcs:(Database.functions db) e (source_of db c))
+  | Project cols, [ c ] ->
+      n.actual <- 0;
+      Batch.tap
+        (fun b -> n.actual <- n.actual + b)
+        (Batch.project cols (source_of db c))
+  | Limit k, [ c ] ->
+      n.actual <- 0;
+      Batch.tap
+        (fun b -> n.actual <- n.actual + b)
+        (Batch.limit k (source_of db c))
+  | _ -> Batch.of_table (execute db n)
+
+and execute db (n : t) : Table.t =
+  let record t =
+    n.actual <- Table.cardinality t;
+    t
+  in
+  match (n.op, n.children) with
+  | Scan name, [] -> record (Database.find db name)
+  | (Filter _ | Project _ | Limit _), _ ->
+      (* a streaming chain asked to produce a table: drain it *)
+      Batch.to_table ~name:"<batch>" (source_of db n)
+  | Distinct, [ c ] ->
+      record (Batch.distinct_table ~name:"<distinct>" (source_of db c))
+  | Sort keys, [ c ] ->
+      record (Batch.sort_table ~name:"<sort>" keys (source_of db c))
+  | Topk (k, keys), [ c ] ->
+      record (Batch.topk_table ~name:"<topk>" k keys (source_of db c))
+  | Group cols, [ ({ op = Scan name; _ } as c) ] ->
+      (* projection pushdown into the scan: grouping only reads the key
+         columns, so don't stream the table's full arity *)
+      let t = Database.find db name in
+      c.actual <- Table.cardinality t;
+      record (Batch.group_table ~by:cols (Batch.of_table (Ops.project cols t)))
+  | Group cols, [ c ] -> record (Batch.group_table ~by:cols (source_of db c))
+  | Count, [ c ] ->
+      record
+        (Table.of_rows ~name:"<count>"
+           (Schema.of_list [ "count" ])
+           [ [| Value.Int (Batch.count (source_of db c)) |] ])
+  | Hash_join { on; build_left }, [ a; b ] ->
+      record (Batch.join_tables ~build_left ~on (execute db a) (execute db b))
+  (* set operators delegate to the reference implementations for their
+     exact dictionary-sharing and first-occurrence semantics; both
+     inputs are already vectorized upstream *)
+  | Union, [ a; b ] -> record (Ops.union (execute db a) (execute db b))
+  | Except, [ a; b ] -> record (Ops.except (execute db a) (execute db b))
+  | Intersect, [ a; b ] -> record (Ops.intersect (execute db a) (execute db b))
+  | Nothing cols, [] ->
+      record (Table.create ~name:"<empty>" (Schema.of_list cols))
+  | _ -> invalid_arg "Planner.execute: malformed plan"
+
+let run_plan db p = execute db (plan db p)
+
+let run_query db (q : Sql_ast.query) =
+  Table.with_name "<query>" (run_plan db (Plan.of_query q))
+
+(* --------------------------- rendering -------------------------------- *)
+
+let op_string = function
+  | Scan name -> "seq scan " ^ name
+  | Filter e -> Format.asprintf "filter %a" Expr.pp e
+  | Project cols -> Printf.sprintf "project [%s]" (String.concat ", " cols)
+  | Distinct -> "distinct"
+  | Sort keys | Topk (_, keys) as op ->
+      let ks =
+        String.concat ", "
+          (List.map
+             (fun (c, d) -> c ^ match d with `Asc -> "" | `Desc -> " desc")
+             keys)
+      in
+      (match op with
+      | Topk (k, _) -> Printf.sprintf "top-k %d [%s]" k ks
+      | _ -> Printf.sprintf "sort [%s]" ks)
+  | Limit n -> Printf.sprintf "limit %d" n
+  | Hash_join { on; build_left } ->
+      Printf.sprintf "hash join [%s] (build=%s)"
+        (String.concat ", "
+           (List.map (fun (l, r) -> Printf.sprintf "%s=%s" l r) on))
+        (if build_left then "left" else "right")
+  | Union -> "union"
+  | Except -> "except"
+  | Intersect -> "intersect"
+  | Count -> "count"
+  | Group cols ->
+      Printf.sprintf "group count by [%s]" (String.concat ", " cols)
+  | Nothing cols -> Printf.sprintf "empty [%s]" (String.concat ", " cols)
+
+let render root =
+  let buf = Buffer.create 256 in
+  let rec go indent n =
+    Printf.ksprintf (Buffer.add_string buf) "%s%-*s est=%-9.0f %s cost=%.0f\n"
+      (String.make indent ' ')
+      (max 1 (40 - indent))
+      (op_string n.op) n.est
+      (if n.actual < 0 then "actual=-     "
+       else Printf.sprintf "actual=%-6d" n.actual)
+      n.cost;
+    List.iter (go (indent + 2)) n.children
+  in
+  go 0 root;
+  Buffer.contents buf
+
+let explain db src =
+  render (plan db (Plan.of_query (Sql_parser.parse_query src)))
+
+(* -------------------------- EXPLAIN ANALYZE --------------------------- *)
+
+type report = { table : Table.t; root : t; total_ns : int64 }
+
+let analyze db src =
+  Obs.Trace.with_span ~cat:"relalg"
+    ~args:[ ("query", Obs.Json.Str src) ]
+    "sql.planner_analyze"
+  @@ fun () ->
+  let t0 = Obs.Clock.now_ns () in
+  let root = plan db (Plan.of_query (Sql_parser.parse_query src)) in
+  let table = Table.with_name "<query>" (execute db root) in
+  { table; root; total_ns = Obs.Clock.since t0 }
+
+let render_report r =
+  Printf.sprintf "%stotal: %.3f ms, %d rows\n" (render r.root)
+    (Obs.Clock.to_ms r.total_ns)
+    (Table.cardinality r.table)
+
+let rec node_to_json n =
+  Obs.Json.Obj
+    [
+      ("op", Obs.Json.Str (op_string n.op));
+      ("est_rows", Obs.Json.Float n.est);
+      ("actual_rows", Obs.Json.Int n.actual);
+      ("cost", Obs.Json.Float n.cost);
+      ("children", Obs.Json.List (List.map node_to_json n.children));
+    ]
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "asura-explain/1");
+      ("rows", Obs.Json.Int (Table.cardinality r.table));
+      ("total_ns", Obs.Json.Float (Int64.to_float r.total_ns));
+      ("physical", Obs.Json.Str (render r.root));
+      ("plan", node_to_json r.root);
+    ]
+
+(* ----------------------- programmatic operators ----------------------- *)
+
+(* Direct entry points for consumers that build operator chains in code
+   (solver, checkers, bench) rather than through SQL: vectorized when
+   the planner is on and inputs are lineage-free, reference otherwise.
+   [Batch.join_tables] double-checks lineage itself. *)
+
+let equi_join ~on ta tb =
+  if enabled () then Batch.join_tables ~on ta tb else Ops.equi_join ~on ta tb
+
+let lineage_free t = Table.lineage t = None
+
+let select ?funcs e t =
+  if active () && lineage_free t then
+    Batch.to_table ~name:(Table.name t)
+      (Batch.select ?funcs e (Batch.of_table t))
+  else Ops.select ?funcs e t
+
+let group_count ~by t =
+  if active () && lineage_free t then
+    (* project before scanning so the stream only copies the grouping
+       columns, not the table's full arity *)
+    Batch.group_table ~by (Batch.of_table (Ops.project by t))
+  else
+    Table.of_rows ~name:"<group>"
+      (Schema.of_list (by @ [ "count" ]))
+      (List.map
+         (fun (key, n) -> Array.append key [| Value.Int n |])
+         (Ops.group_count ~by t))
+
+let distinct t =
+  if active () && lineage_free t then
+    Batch.distinct_table ~name:(Table.name t) (Batch.of_table t)
+  else Table.distinct t

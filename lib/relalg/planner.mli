@@ -1,0 +1,96 @@
+(** Cost-based query planning over the vectorized {!Batch} layer.
+
+    The planner annotates an optimized logical {!Plan.t} with cardinality
+    estimates — per-column dictionary sizes are exact distinct counts in
+    the columnar engine, so selectivity estimation is unusually well
+    informed — then picks physical operators: hash-join build side by
+    estimated input size, [LIMIT]-over-[ORDER BY] as a bounded top-k,
+    selections pushed below joins into whichever side covers their
+    columns.  Execution streams batches of dictionary codes through
+    {!Batch} and records actual per-operator cardinalities, so
+    [EXPLAIN --analyze] can show estimated vs. actual rows for every
+    operator.
+
+    The row-at-a-time {!Ops} path remains the reference engine:
+    differential tests compare the two, [ASURA_PLANNER=off] turns
+    planning off globally, and lineage tracking falls back implicitly
+    (batches carry no provenance, so [why] narratives always come from
+    the reference path). *)
+
+val enabled : unit -> bool
+(** [ASURA_PLANNER] is not set to [off]/[0]/[false] (read dynamically). *)
+
+val active : unit -> bool
+(** {!enabled} and lineage tracking is off. *)
+
+type keys = (string * [ `Asc | `Desc ]) list
+
+type op =
+  | Scan of string
+  | Filter of Expr.t
+  | Project of string list
+  | Distinct
+  | Sort of keys
+  | Topk of int * keys  (** first [k] of the stable sort, bounded buffer *)
+  | Limit of int
+  | Hash_join of { on : (string * string) list; build_left : bool }
+  | Union
+  | Except
+  | Intersect
+  | Count
+  | Group of string list
+  | Nothing of string list  (** provably empty *)
+
+type t = {
+  op : op;
+  est : float;  (** estimated output rows *)
+  cost : float;  (** cumulative cost estimate (abstract row-touches) *)
+  mutable actual : int;  (** rows observed by execution; [-1] before *)
+  children : t list;
+}
+
+val plan : Database.t -> Plan.t -> t
+(** Optimize ({!Plan.optimize} + join pushdown), then annotate with
+    estimates and physical choices.
+    @raise Database.Unknown_table for unresolvable scans. *)
+
+val execute : Database.t -> t -> Table.t
+(** Run the annotated plan through {!Batch}, filling [actual] fields. *)
+
+val run_plan : Database.t -> Plan.t -> Table.t
+val run_query : Database.t -> Sql_ast.query -> Table.t
+(** Plan and execute; the result is named ["<query>"] like the reference
+    {!Sql_exec} path. *)
+
+val render : t -> string
+(** Indented tree with [est]/[actual]/[cost] per operator ([actual=-]
+    before execution). *)
+
+val explain : Database.t -> string -> string
+(** Plan a query string and render it unexecuted — the [EXPLAIN] (no
+    [--analyze]) view with cost estimates. *)
+
+type report = { table : Table.t; root : t; total_ns : int64 }
+
+val analyze : Database.t -> string -> report
+(** Plan, execute, and time a query string: [EXPLAIN --analyze] with
+    estimated vs. actual rows per operator. *)
+
+val render_report : report -> string
+val to_json : report -> Obs.Json.t
+(** [asura-explain/1]-schema document (planner nodes carry
+    [est_rows]/[actual_rows]/[cost]). *)
+
+(** {2 Programmatic operators}
+
+    Entry points for consumers that build operator chains in code
+    (solver, checkers, bench): vectorized when the planner is active and
+    the inputs are lineage-free, reference {!Ops}/{!Table} otherwise. *)
+
+val equi_join : on:(string * string) list -> Table.t -> Table.t -> Table.t
+val select : ?funcs:Expr.funcs -> Expr.t -> Table.t -> Table.t
+val group_count : by:string list -> Table.t -> Table.t
+(** The materialized [by @ ["count"]] table (name ["<group>"]), like the
+    SQL layer's GROUP BY result. *)
+
+val distinct : Table.t -> Table.t

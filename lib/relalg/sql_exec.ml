@@ -5,7 +5,10 @@ let error fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 let obs_reg = lazy (Obs.Metrics.registry "relalg")
 let obs_counter name = Obs.Metrics.counter (Lazy.force obs_reg) name
 
-let rec run_query db (q : Sql_ast.query) =
+(* The reference row-at-a-time interpreter: one {!Ops} call per clause,
+   in the fixed textbook order.  Kept verbatim as the differential-test
+   oracle for the cost-based planner below. *)
+let rec run_query_reference db (q : Sql_ast.query) =
   match q with
   | Select { distinct; columns; from; where; order_by; limit } ->
       let table =
@@ -52,9 +55,38 @@ let rec run_query db (q : Sql_ast.query) =
         match limit with None -> table | Some n -> Ops.limit n table
       in
       Table.with_name "<query>" table
-  | Union (a, b) -> Ops.union (run_query db a) (run_query db b)
-  | Except (a, b) -> Ops.except (run_query db a) (run_query db b)
-  | Intersect (a, b) -> Ops.intersect (run_query db a) (run_query db b)
+  | Union (a, b) ->
+      Ops.union (run_query_reference db a) (run_query_reference db b)
+  | Except (a, b) ->
+      Ops.except (run_query_reference db a) (run_query_reference db b)
+  | Intersect (a, b) ->
+      Ops.intersect (run_query_reference db a) (run_query_reference db b)
+
+let rec referenced_tables (q : Sql_ast.query) =
+  match q with
+  | Select { from; _ } -> [ from ]
+  | Union (a, b) | Except (a, b) | Intersect (a, b) ->
+      referenced_tables a @ referenced_tables b
+
+(* Dispatch: the cost-based planner runs the query through the
+   vectorized engine when it is active and no referenced table carries
+   lineage (provenance must flow through the reference operators).
+   Unknown tables are reported with the reference path's error message
+   either way. *)
+let run_query db (q : Sql_ast.query) =
+  let tables =
+    List.map
+      (fun name ->
+        match Database.find_opt db name with
+        | Some t -> t
+        | None -> error "unknown table %s" name)
+      (referenced_tables q)
+  in
+  if
+    Planner.active ()
+    && List.for_all (fun t -> Table.lineage t = None) tables
+  then Planner.run_query db q
+  else run_query_reference db q
 
 (* sys.* tables are engine-materialized snapshots: readable like any
    table, but not a valid target for DDL/DML. *)

@@ -9,7 +9,14 @@ exception Exec_error of string
 
 val run_query : Database.t -> Sql_ast.query -> Table.t
 (** Evaluate a query AST.  The result table is named ["<query>"] unless
-    produced by [CREATE TABLE … AS]. *)
+    produced by [CREATE TABLE … AS].  Dispatches to the cost-based
+    {!Planner} (vectorized execution) when it is active and no
+    referenced table carries lineage; otherwise runs the row-at-a-time
+    reference interpreter ({!run_query_reference}). *)
+
+val run_query_reference : Database.t -> Sql_ast.query -> Table.t
+(** The row-at-a-time reference interpreter, unconditionally — the
+    oracle the planner is differentially tested against. *)
 
 val run_statement : Database.t -> Sql_ast.statement -> Database.t * Table.t option
 (** Evaluate a statement; [CREATE TABLE AS] / [INSERT] / [DROP] return the

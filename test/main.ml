@@ -13,6 +13,7 @@ let () =
       "indexes-and-physical-plans", Test_physical.suite;
       "graphs", Test_graph.suite;
       "relalg-properties", Test_relalg_props.suite;
+      "planner-differential", Test_planner.suite;
       "lineage-and-why", Test_lineage.suite;
       "seq-vs-par-differential", Test_par_diff.suite;
       "state-packing", Test_pack.suite;
