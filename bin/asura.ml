@@ -588,8 +588,9 @@ let runs_arg =
     & info [ "runs" ] ~docv:"DIR"
         ~doc:
           "Attach the manifest-backed system tables ($(b,sys.runs), \
-           $(b,sys.run_metrics), $(b,sys.bench), $(b,sys.coverage)) built \
-           from the run manifests and bench snapshots under $(docv).")
+           $(b,sys.run_metrics), $(b,sys.bench), $(b,sys.coverage), \
+           $(b,sys.plans), $(b,sys.plan_ops)) built from the run manifests \
+           and bench snapshots under $(docv).")
 
 (* Execute one statement with every engine error rendered as a clean
    diagnostic (exit 2) instead of an uncaught exception.  Writes are
@@ -917,7 +918,18 @@ let report_cmd =
              states/s across the run manifests, computed by querying the \
              $(b,sys.runs) system table (Markdown output only).")
   in
-  let run () files json_flag html max_uncovered trend min_coverage min_table =
+  let max_misest =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-misest" ] ~docv:"RATIO"
+          ~doc:
+            "Exit 1 if any aggregated plan misestimates cardinality by \
+             more than $(docv)x (worst per-operator estimated-vs-actual \
+             row ratio, from the plan logs the manifests embed).")
+  in
+  let run () files json_flag html max_uncovered trend min_coverage min_table
+      max_misest =
     (* A file that fails to read, parse or classify is skipped with a
        warning instead of aborting the report; only when every input is
        bad is there nothing to aggregate and exit 2 applies. *)
@@ -986,6 +998,21 @@ let report_cmd =
                   failed := true
                 end)
           min_table;
+        (match max_misest with
+        | None -> ()
+        | Some threshold ->
+            List.iter
+              (fun (e : Obs.Planlog.entry) ->
+                let m = Obs.Planlog.misest e in
+                if m > threshold then begin
+                  Printf.eprintf
+                    "plan gate: [%s] %s misestimates by %.1fx (fingerprint \
+                     %s), above the allowed %.1fx\n"
+                    e.Obs.Planlog.e_site e.Obs.Planlog.e_query m
+                    e.Obs.Planlog.e_fingerprint threshold;
+                  failed := true
+                end)
+              (Obs.Runreport.plans agg));
         if !failed then exit 1
   in
   Cmd.v
@@ -997,7 +1024,7 @@ let report_cmd =
           matrix, and seq-vs-par bench regressions.")
     Term.(
       const run $ setup_term $ files $ json $ html $ max_uncovered $ trend
-      $ min_coverage $ min_table)
+      $ min_coverage $ min_table $ max_misest)
 
 (* ------------------------------ explain ------------------------------ *)
 
@@ -1082,6 +1109,161 @@ let explain_cmd =
           and timings.")
     Term.(const run $ setup_term $ query $ analyze $ index $ json)
 
+(* ------------------------------- plan -------------------------------- *)
+
+(* Run the deterministic plan workload with telemetry on, so the live
+   plan observatory has a reproducible population.  Returns the protocol
+   database the workload ran against. *)
+let exercise_plan_workload () =
+  Obs.Config.enable ();
+  let db = Protocol.database () in
+  Systables.run_plan_workload db;
+  db
+
+let plan_canned_keys = [ "hottest-plans"; "worst-misest" ]
+
+let plan_top_cmd =
+  let run () runs =
+    let db =
+      match runs with
+      | None -> Systables.attach_live (exercise_plan_workload ())
+      | Some dir ->
+          (* manifest-backed: answer from the aggregated sys.plans the
+             manifests carry instead of re-running the workload *)
+          let db, skipped =
+            Systables.attach_docs (load_run_docs dir) (Protocol.database ())
+          in
+          warn_skipped skipped;
+          db
+    in
+    List.iter
+      (fun key ->
+        match
+          List.find_opt (fun c -> c.Systables.key = key) Systables.canned
+        with
+        | None -> ()
+        | Some c ->
+            Printf.printf "## %s [%s]\n" c.Systables.title c.Systables.key;
+            Printf.printf "-- %s\n" c.Systables.sql;
+            print_string
+              (Relalg.Table.to_string (Relalg.Sql_exec.query db c.Systables.sql));
+            print_newline ())
+      plan_canned_keys
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run the deterministic plan workload and answer the plan canned \
+          queries — hottest plans by total time and worst cardinality \
+          misestimates — as plain SQL over $(b,sys.plans).")
+    Term.(const run $ setup_term $ runs_arg)
+
+let plan_snapshot_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write the asura-plans/1 document to this file instead of \
+             standard output.")
+  in
+  let run () output runs =
+    let json =
+      match runs with
+      | Some dir ->
+          (* aggregate the plan logs the manifests under DIR embed — the
+             same Runreport.plans aggregation the report renders *)
+          let agg, skipped = Obs.Runreport.collect (load_run_docs dir) in
+          warn_skipped skipped;
+          Obs.Planlog.entries_to_json (Obs.Runreport.plans agg)
+      | None ->
+          ignore (exercise_plan_workload ());
+          Obs.Planlog.to_json ()
+    in
+    let text = Obs.Json.to_string json ^ "\n" in
+    match output with
+    | None -> print_string text
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc text);
+        Printf.printf "wrote %d plans to %s\n"
+          (List.length (Obs.Planlog.of_json json))
+          file
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Capture a plan baseline (schema asura-plans/1): run the \
+          deterministic plan workload and dump every recorded plan with \
+          its structural fingerprint and est-vs-actual telemetry — or, \
+          with $(b,--runs), aggregate the plan logs embedded in run \
+          manifests.  Commit the output and gate on it with $(b,asura \
+          plan diff --strict).")
+    Term.(const run $ setup_term $ output $ runs_arg)
+
+let plan_diff_cmd =
+  let old_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD"
+          ~doc:"Baseline plan document (asura-plans/1 or a run manifest).")
+  in
+  let new_file =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Plan document to compare against OLD.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit 1 when any plan changed, appeared or disappeared — the \
+             CI plan-regression gate.")
+  in
+  let run () old_file new_file strict =
+    let load f =
+      match Obs.Json.parse (read_file f) with
+      | Ok j -> Obs.Planlog.of_json j
+      | Error msg ->
+          Printf.eprintf "plan diff: %s: %s\n" f msg;
+          exit 2
+      | exception Sys_error msg ->
+          Printf.eprintf "plan diff: %s\n" msg;
+          exit 2
+    in
+    let changes, unchanged = Obs.Planlog.diff (load old_file) (load new_file) in
+    List.iter (fun c -> print_string (Obs.Planlog.render_change c)) changes;
+    Printf.printf "%d plans changed, %d unchanged\n" (List.length changes)
+      unchanged;
+    if strict && changes <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two plan documents by (site, query): report every plan \
+          whose structural fingerprint changed, appeared or disappeared, \
+          with per-operator estimated-vs-actual deltas.  Execution counts \
+          and timings are deliberately not compared, so two runs of the \
+          same workload at different speeds diff clean.")
+    Term.(const run $ setup_term $ old_file $ new_file $ strict)
+
+let plan_cmd =
+  Cmd.group
+    (Cmd.info "plan"
+       ~doc:
+         "The plan observatory: capture, inspect and gate on the query \
+          planner's decisions.  Every planner execution records a \
+          structural fingerprint plus per-operator estimated-vs-actual \
+          telemetry, queryable as $(b,sys.plans) / $(b,sys.plan_ops) and \
+          diffable across commits.")
+    [ plan_top_cmd; plan_snapshot_cmd; plan_diff_cmd ]
+
 let () =
   let doc =
     "table-driven cache-coherence protocol design and early error \
@@ -1094,5 +1276,5 @@ let () =
           [
             generate_cmd; invariants_cmd; deadlock_cmd; why_cmd; map_cmd;
             simulate_cmd; mcheck_cmd; sql_cmd; top_cmd; review_cmd;
-            report_cmd; explain_cmd; export_cmd; stats_cmd;
+            report_cmd; explain_cmd; export_cmd; stats_cmd; plan_cmd;
           ]))

@@ -158,9 +158,71 @@ let record_matches placement matched =
        ^ Protocol.Topology.placement_to_string placement))
     (List.length matched)
 
+(* One plan-observatory record per composition.  Compose is a
+   programmatic join that bypasses the SQL planner, but its physical
+   choice — hash-bucketed vs nested loop, decided by ASURA_PLANNER and
+   the inner cardinality — is a plan decision the fingerprint must
+   witness, so plan diffs catch a silent path flip here too.  Recorded
+   from the spawning domain only (this wrapper, not [compose_core],
+   which runs on pool workers). *)
+let record_plan ~ignore_messages ~placement (n1, t1) (n2, t2) matched total_ns =
+  if Obs.Config.on () then begin
+    let len1 = List.length t1 and len2 = List.length t2 in
+    let hash_path = Relalg.Planner.enabled () && len2 > 8 in
+    let place = Protocol.Topology.placement_to_string placement in
+    let fingerprint =
+      Obs.Planlog.fingerprint
+        [
+          "compose";
+          n1;
+          n2;
+          place;
+          (if hash_path then "hash-bucket" else "nested-loop");
+          (if ignore_messages then "inexact" else "exact");
+        ]
+    in
+    (* each outer entry is expected to continue one transaction: the
+       uninformed unit-match estimate est = |t1| *)
+    let est = float_of_int len1 in
+    let rows_out = List.length matched in
+    let ns = Int64.to_float total_ns in
+    let scan name len =
+      {
+        Obs.Planlog.op = "scan " ^ name;
+        est_rows = float_of_int len;
+        est_cost = float_of_int len;
+        actual_rows = len;
+        actual_ns = 0.;
+        batches = 0;
+      }
+    in
+    Obs.Planlog.record ~site:"dependency.compose" ~fingerprint
+      ~query:(Printf.sprintf "compose %s . %s @ %s" n1 n2 place)
+      ~est_cost:(float_of_int (len1 + len2) +. est)
+      ~total_ns:ns ~rows_out
+      [
+        {
+          Obs.Planlog.op =
+            Printf.sprintf "compose %s (key=src,dst,vc%s)"
+              (if hash_path then "hash-bucket" else "nested-loop")
+              (if ignore_messages then "" else ",msg");
+          est_rows = est;
+          est_cost = float_of_int (len1 + len2) +. est;
+          actual_rows = rows_out;
+          actual_ns = ns;
+          batches = 0;
+        };
+        scan n1 len1;
+        scan n2 len2;
+      ]
+  end
+
 let compose ~ignore_messages ~placement t1 t2 =
+  let t0 = Obs.Clock.now_ns () in
   let matched = compose_core ~ignore_messages ~placement t1 t2 in
+  let total_ns = Obs.Clock.since t0 in
   record_matches placement matched;
+  record_plan ~ignore_messages ~placement t1 t2 matched total_ns;
   matched
 
 let dedup entries =

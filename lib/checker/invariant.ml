@@ -472,6 +472,10 @@ let record_result inv ~passed ~nviolations =
 
 let run db inv =
   let violations =
+    (* the invariant id tags every plan its check executes (SQL directly,
+       native checks through whatever queries/joins they issue), so
+       sys.plans attributes planner work to the invariant that caused it *)
+    Obs.Planlog.with_site ("invariant:" ^ inv.id) @@ fun () ->
     match inv.check with
     | Sql q -> Sql_exec.query db q
     | Native f -> f db

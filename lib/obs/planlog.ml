@@ -1,0 +1,391 @@
+(* The plan observatory's collector: one aggregated record per executed
+   plan, keyed by (site, fingerprint).  The planner (and the handful of
+   vectorized consumers that bypass it: solver extension, dependency
+   compose) report each execution here with its structural fingerprint,
+   per-operator estimates and measured actuals; manifests embed the
+   snapshot so `asura report` / `asura plan` can aggregate and diff
+   plans across runs.
+
+   Like {!Metrics}, one mutex covers every mutation and recording is
+   gated on {!Config.on}, so an uninstrumented run pays a single branch
+   per executed plan.  All recording happens on the spawning domain
+   (workers stay observability-free, as everywhere in obs).
+
+   This module is deliberately planner-agnostic — plain strings and
+   floats — because obs sits below relalg in the dependency order. *)
+
+(* ----------------------------- fingerprint ---------------------------- *)
+
+(* FNV-1a over the canonical node strings, 64-bit, rendered as hex.
+   Implemented here (not [Hashtbl.hash]) so fingerprints are stable
+   across OCaml versions, word sizes and processes — they are persisted
+   in manifests and committed baselines, and `plan diff` compares them
+   across sessions. *)
+let fingerprint parts =
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int b)) prime in
+  List.iter
+    (fun s ->
+      String.iter (fun c -> byte (Char.code c)) s;
+      (* separator so ["ab";"c"] and ["a";"bc"] differ *)
+      byte 0x1f)
+    parts;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------- types -------------------------------- *)
+
+(* What a call site reports for one operator of one execution. *)
+type op = {
+  op : string;  (** operator kind, e.g. "hash join [k=k] (build=left)" *)
+  est_rows : float;
+  est_cost : float;  (** cumulative cost estimate at this node *)
+  actual_rows : int;
+  actual_ns : float;  (** inclusive of children (wall time at this node) *)
+  batches : int;
+}
+
+(* Aggregated per-operator telemetry: estimates are per-execution (fixed
+   for a fingerprint by construction), actuals accumulate across
+   executions of the same plan. *)
+type op_rec = {
+  seq : int;
+  o_op : string;
+  o_est_rows : float;
+  o_est_cost : float;
+  mutable o_actual_rows : int;
+  mutable o_actual_ns : float;
+  mutable o_batches : int;
+}
+
+type entry = {
+  e_fingerprint : string;
+  e_site : string;
+  e_query : string;  (** sql text or programmatic-op summary *)
+  e_est_cost : float;
+  mutable e_execs : int;
+  mutable e_total_ns : float;
+  mutable e_rows_out : int;
+  e_ops : op_rec array;
+}
+
+(* ------------------------------ the log ------------------------------- *)
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let entries : (string * string, entry) Hashtbl.t = Hashtbl.create 64
+
+(* Call-site labels form a dynamic stack so an outer consumer (an
+   invariant check, the solver) tags the SQL and programmatic plans it
+   runs underneath; {!Sql_exec} only applies its default "sql" label
+   when nothing more specific is active. *)
+let sites : string list ref = ref []
+
+let site () = locked (fun () -> match !sites with [] -> None | s :: _ -> Some s)
+
+let with_site s f =
+  locked (fun () -> sites := s :: !sites);
+  Fun.protect
+    ~finally:(fun () ->
+      locked (fun () ->
+          sites := match !sites with [] -> [] | _ :: rest -> rest))
+    f
+
+let current_site () = Option.value ~default:"adhoc" (site ())
+
+let record ?site:s ~fingerprint:fp ~query ~est_cost ~total_ns ~rows_out ops =
+  if Config.on () then begin
+    let site = match s with Some s -> s | None -> current_site () in
+    locked @@ fun () ->
+    match Hashtbl.find_opt entries (site, fp) with
+    | Some e ->
+        e.e_execs <- e.e_execs + 1;
+        e.e_total_ns <- e.e_total_ns +. total_ns;
+        e.e_rows_out <- e.e_rows_out + rows_out;
+        List.iteri
+          (fun i (o : op) ->
+            if i < Array.length e.e_ops then begin
+              let r = e.e_ops.(i) in
+              r.o_actual_rows <- r.o_actual_rows + o.actual_rows;
+              r.o_actual_ns <- r.o_actual_ns +. o.actual_ns;
+              r.o_batches <- r.o_batches + o.batches
+            end)
+          ops
+    | None ->
+        Hashtbl.add entries (site, fp)
+          {
+            e_fingerprint = fp;
+            e_site = site;
+            e_query = query;
+            e_est_cost = est_cost;
+            e_execs = 1;
+            e_total_ns = total_ns;
+            e_rows_out = rows_out;
+            e_ops =
+              Array.of_list
+                (List.mapi
+                   (fun seq (o : op) ->
+                     {
+                       seq;
+                       o_op = o.op;
+                       o_est_rows = o.est_rows;
+                       o_est_cost = o.est_cost;
+                       o_actual_rows = o.actual_rows;
+                       o_actual_ns = o.actual_ns;
+                       o_batches = o.batches;
+                     })
+                   ops);
+          }
+  end
+
+let copy_entry e =
+  {
+    e with
+    e_ops = Array.map (fun r -> { r with seq = r.seq }) e.e_ops;
+  }
+
+let snapshot () =
+  locked (fun () -> Hashtbl.fold (fun _ e acc -> copy_entry e :: acc) entries [])
+  |> List.sort (fun a b ->
+         compare
+           (a.e_site, a.e_query, a.e_fingerprint)
+           (b.e_site, b.e_query, b.e_fingerprint))
+
+let reset () = locked (fun () -> Hashtbl.reset entries)
+
+(* ------------------------------- misest ------------------------------- *)
+
+(* Worst per-node estimation error: the max over operators of the
+   symmetric ratio between estimated and mean-actual output rows,
+   1-smoothed so empty results and zero estimates stay finite.  1.0 is a
+   perfect plan; 10.0 means some operator was off by an order of
+   magnitude either way. *)
+let misest e =
+  let execs = max 1 e.e_execs in
+  Array.fold_left
+    (fun acc r ->
+      let actual = float_of_int r.o_actual_rows /. float_of_int execs in
+      let est = max 0. r.o_est_rows in
+      let ratio = (max actual est +. 1.) /. (min actual est +. 1.) in
+      max acc ratio)
+    1.0 e.e_ops
+
+(* ------------------------------- JSON --------------------------------- *)
+
+let schema_name = "asura-plans/1"
+
+let op_to_json (r : op_rec) =
+  Json.Obj
+    [
+      ("seq", Json.Int r.seq);
+      ("op", Json.Str r.o_op);
+      ("est_rows", Json.Float r.o_est_rows);
+      ("est_cost", Json.Float r.o_est_cost);
+      ("actual_rows", Json.Int r.o_actual_rows);
+      ("actual_ms", Json.Float (r.o_actual_ns /. 1e6));
+      ("batches", Json.Int r.o_batches);
+    ]
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("fingerprint", Json.Str e.e_fingerprint);
+      ("site", Json.Str e.e_site);
+      ("query", Json.Str e.e_query);
+      ("est_cost", Json.Float e.e_est_cost);
+      ("execs", Json.Int e.e_execs);
+      ("total_ms", Json.Float (e.e_total_ns /. 1e6));
+      ("rows_out", Json.Int e.e_rows_out);
+      ("misest", Json.Float (misest e));
+      ("ops", Json.List (Array.to_list (Array.map op_to_json e.e_ops)));
+    ]
+
+let entries_to_json es =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_name);
+      ("plans", Json.List (List.map entry_to_json es));
+    ]
+
+let to_json () = entries_to_json (snapshot ())
+
+let jstr d k = Option.bind (Json.member k d) Json.to_str
+let jnum d k = Option.bind (Json.member k d) Json.to_number
+
+let jint d k = Option.map int_of_float (jnum d k)
+
+let op_of_json d =
+  match (jint d "seq", jstr d "op") with
+  | Some seq, Some o_op ->
+      Some
+        {
+          seq;
+          o_op;
+          o_est_rows = Option.value ~default:0. (jnum d "est_rows");
+          o_est_cost = Option.value ~default:0. (jnum d "est_cost");
+          o_actual_rows = Option.value ~default:0 (jint d "actual_rows");
+          o_actual_ns =
+            Option.value ~default:0. (jnum d "actual_ms") *. 1e6;
+          o_batches = Option.value ~default:0 (jint d "batches");
+        }
+  | _ -> None
+
+let entry_of_json d =
+  match (jstr d "fingerprint", jstr d "site") with
+  | Some fp, Some site ->
+      Some
+        {
+          e_fingerprint = fp;
+          e_site = site;
+          e_query = Option.value ~default:"?" (jstr d "query");
+          e_est_cost = Option.value ~default:0. (jnum d "est_cost");
+          e_execs = max 1 (Option.value ~default:1 (jint d "execs"));
+          e_total_ns =
+            Option.value ~default:0. (jnum d "total_ms") *. 1e6;
+          e_rows_out = Option.value ~default:0 (jint d "rows_out");
+          e_ops =
+            (match Json.member "ops" d with
+            | Some (Json.List ops) ->
+                Array.of_list (List.filter_map op_of_json ops)
+            | _ -> [||]);
+        }
+  | _ -> None
+
+(* Accepts either an asura-plans/1 document or any document with a
+   "plans" member of that shape (run manifests, plan snapshots). *)
+let of_json doc =
+  let plans =
+    match Json.member "plans" doc with
+    | Some (Json.Obj _ as nested) -> (
+        match Json.member "plans" nested with Some l -> Some l | None -> None)
+    | Some (Json.List _ as l) -> Some l
+    | None -> None
+    | Some _ -> None
+  in
+  match plans with
+  | Some (Json.List es) -> List.filter_map entry_of_json es
+  | _ -> []
+
+(* ----------------------------- aggregation ---------------------------- *)
+
+(* Merge entry lists (one per manifest) by (site, fingerprint): execs,
+   times, rows and per-operator actuals add up; estimates are structural
+   and identical for a given fingerprint, so the first entry's are kept.
+   The result ordering matches {!snapshot}. *)
+let aggregate lists =
+  let tbl : (string * string, entry) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun e ->
+         match Hashtbl.find_opt tbl (e.e_site, e.e_fingerprint) with
+         | None -> Hashtbl.add tbl (e.e_site, e.e_fingerprint) (copy_entry e)
+         | Some acc ->
+             acc.e_execs <- acc.e_execs + e.e_execs;
+             acc.e_total_ns <- acc.e_total_ns +. e.e_total_ns;
+             acc.e_rows_out <- acc.e_rows_out + e.e_rows_out;
+             Array.iteri
+               (fun i r ->
+                 if i < Array.length acc.e_ops then begin
+                   let a = acc.e_ops.(i) in
+                   a.o_actual_rows <- a.o_actual_rows + r.o_actual_rows;
+                   a.o_actual_ns <- a.o_actual_ns +. r.o_actual_ns;
+                   a.o_batches <- a.o_batches + r.o_batches
+                 end)
+               e.e_ops))
+    lists;
+  Hashtbl.fold (fun _ e acc -> e :: acc) tbl []
+  |> List.sort (fun a b ->
+         compare
+           (a.e_site, a.e_query, a.e_fingerprint)
+           (b.e_site, b.e_query, b.e_fingerprint))
+
+(* -------------------------------- diff -------------------------------- *)
+
+(* Plans are matched across snapshots by (site, query): the logical
+   workload identity, which survives a plan change.  A matched pair with
+   different fingerprints is the regression signal — the planner now
+   produces a different physical plan for the same query. *)
+type change = {
+  c_site : string;
+  c_query : string;
+  before : entry option;  (** [None]: plan only in the new snapshot *)
+  after : entry option;  (** [None]: plan only in the old snapshot *)
+}
+
+let diff_key e = (e.e_site, e.e_query)
+
+let diff old_es new_es =
+  let index es =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        let k = diff_key e in
+        Hashtbl.replace tbl k
+          (match Hashtbl.find_opt tbl k with
+          | Some l -> l @ [ e ]
+          | None -> [ e ]))
+      es;
+    tbl
+  in
+  let old_t = index old_es and new_t = index new_es in
+  let keys =
+    List.sort_uniq compare (List.map diff_key old_es @ List.map diff_key new_es)
+  in
+  let unchanged = ref 0 in
+  let fps = List.map (fun e -> e.e_fingerprint) in
+  let changes =
+    List.concat_map
+      (fun ((site, query) as k) ->
+        let olds = Option.value ~default:[] (Hashtbl.find_opt old_t k) in
+        let news = Option.value ~default:[] (Hashtbl.find_opt new_t k) in
+        if List.sort compare (fps olds) = List.sort compare (fps news) then begin
+          unchanged := !unchanged + List.length olds;
+          []
+        end
+        else
+          match (olds, news) with
+          | [], news ->
+              List.map
+                (fun e -> { c_site = site; c_query = query; before = None; after = Some e })
+                news
+          | olds, [] ->
+              List.map
+                (fun e -> { c_site = site; c_query = query; before = Some e; after = None })
+                olds
+          | o :: _, n :: _ ->
+              [ { c_site = site; c_query = query; before = Some o; after = Some n } ])
+      keys
+  in
+  (changes, !unchanged)
+
+let render_ops buf tag e =
+  let execs = max 1 e.e_execs in
+  Printf.ksprintf (Buffer.add_string buf) "  %s %s  (cost=%.0f, %d exec%s)\n"
+    tag e.e_fingerprint e.e_est_cost e.e_execs
+    (if e.e_execs = 1 then "" else "s");
+  Array.iter
+    (fun r ->
+      let actual = float_of_int r.o_actual_rows /. float_of_int execs in
+      Printf.ksprintf (Buffer.add_string buf)
+        "  %s   #%d %-44s est=%-9.0f actual=%-9.0f x%.1f\n" tag r.seq r.o_op
+        r.o_est_rows actual
+        ((max actual r.o_est_rows +. 1.) /. (min actual r.o_est_rows +. 1.)))
+    e.e_ops
+
+let render_change c =
+  let buf = Buffer.create 256 in
+  let kind =
+    match (c.before, c.after) with
+    | Some _, Some _ -> "changed"
+    | None, Some _ -> "added"
+    | Some _, None -> "removed"
+    | None, None -> "?"
+  in
+  Printf.ksprintf (Buffer.add_string buf) "%s plan [%s] %s\n" kind c.c_site
+    c.c_query;
+  Option.iter (render_ops buf "-") c.before;
+  Option.iter (render_ops buf "+") c.after;
+  Buffer.contents buf

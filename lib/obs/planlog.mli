@@ -1,0 +1,134 @@
+(** The plan observatory's collector.
+
+    One aggregated record per executed plan, keyed by (call-site label,
+    structural fingerprint).  The cost-based planner and the vectorized
+    consumers that bypass it (solver row extension, dependency compose)
+    report each execution with per-operator estimated vs. actual
+    telemetry; {!Runlog} embeds the snapshot in run manifests, and the
+    {!Systables} layer materializes it as [sys.plans] / [sys.plan_ops].
+
+    Mutex-guarded and gated on {!Config.on} exactly like {!Metrics}:
+    recording from any domain is safe, and an uninstrumented run pays a
+    single branch.  Types are plain strings/floats because obs sits
+    below relalg. *)
+
+val fingerprint : string list -> string
+(** FNV-1a 64-bit hash of the canonical node strings, as 16 hex chars.
+    Stable across processes, OCaml versions and platforms — safe to
+    persist in manifests and committed baselines. *)
+
+(** {1 Call-site labels} *)
+
+val with_site : string -> (unit -> 'a) -> 'a
+(** Tag every plan recorded by the thunk with this label (labels nest;
+    the innermost wins).  Used as ["invariant:<id>"],
+    ["solver.generate"], ["workload:<name>"], … *)
+
+val site : unit -> string option
+(** The innermost active label, if any. *)
+
+val current_site : unit -> string
+(** {!site}, defaulting to ["adhoc"]. *)
+
+(** {1 Recording} *)
+
+(** Per-operator telemetry for one execution, in pre-order (parent
+    before children); [actual_ns] is inclusive of children. *)
+type op = {
+  op : string;
+  est_rows : float;
+  est_cost : float;
+  actual_rows : int;
+  actual_ns : float;
+  batches : int;
+}
+
+val record :
+  ?site:string ->
+  fingerprint:string ->
+  query:string ->
+  est_cost:float ->
+  total_ns:float ->
+  rows_out:int ->
+  op list ->
+  unit
+(** Report one plan execution.  No-op unless {!Config.on}.  Executions
+    sharing (site, fingerprint) aggregate: execs, times and rows sum;
+    estimates (structural per fingerprint) are kept from the first. *)
+
+(** {1 Snapshot} *)
+
+type op_rec = {
+  seq : int;
+  o_op : string;
+  o_est_rows : float;
+  o_est_cost : float;
+  mutable o_actual_rows : int;  (** summed across execs *)
+  mutable o_actual_ns : float;
+  mutable o_batches : int;
+}
+
+type entry = {
+  e_fingerprint : string;
+  e_site : string;
+  e_query : string;
+  e_est_cost : float;
+  mutable e_execs : int;
+  mutable e_total_ns : float;
+  mutable e_rows_out : int;
+  e_ops : op_rec array;
+}
+
+val snapshot : unit -> entry list
+(** Deep copy of the log, deterministically ordered by
+    (site, query, fingerprint). *)
+
+val reset : unit -> unit
+
+val misest : entry -> float
+(** Worst per-node estimation error: max over operators of the symmetric
+    1-smoothed ratio between estimated and mean-actual rows ([>= 1.0],
+    [1.0] = perfect). *)
+
+(** {1 JSON} *)
+
+val schema_name : string
+(** ["asura-plans/1"]. *)
+
+val to_json : unit -> Json.t
+(** The live log as an [asura-plans/1] document — embedded under the
+    ["plans"] key of run manifests. *)
+
+val entries_to_json : entry list -> Json.t
+val entry_to_json : entry -> Json.t
+
+val of_json : Json.t -> entry list
+(** Parse an [asura-plans/1] document, or any document carrying a
+    ["plans"] member of that shape (run manifests embed one).  Returns
+    [[]] when absent. *)
+
+val aggregate : entry list list -> entry list
+(** Merge per-manifest entry lists by (site, fingerprint): actuals sum,
+    estimates are kept from the first occurrence.  Ordered like
+    {!snapshot}. *)
+
+(** {1 Fingerprint diff} *)
+
+(** One difference between two snapshots, matched by (site, query) — the
+    logical identity that survives a plan change.  [before]/[after] are
+    the old and new entries; [None] on one side means added/removed. *)
+type change = {
+  c_site : string;
+  c_query : string;
+  before : entry option;
+  after : entry option;
+}
+
+val diff : entry list -> entry list -> change list * int
+(** [diff old new] pairs entries by (site, query) and reports every key
+    whose fingerprint set differs, plus the count of unchanged plans.
+    Execution counts and timings are deliberately NOT compared — two
+    runs of the same workload at different speeds diff clean. *)
+
+val render_change : change -> string
+(** Human-readable rendering with per-node est-vs-actual deltas. *)

@@ -103,7 +103,14 @@ let manifest () =
        ("elapsed_s", Json.Float (Clock.to_s (Clock.since t0)));
      ]
     @ List.rev notes
-    @ [ ("coverage", Coverage.to_json ()); ("metrics", Metrics.to_json ()) ])
+    @ [
+        ("coverage", Coverage.to_json ());
+        ("metrics", Metrics.to_json ());
+        (* the plan observatory's snapshot, so reports and `asura plan
+           diff` can aggregate planner decisions across runs; stays an
+           additive asura-run/1 field *)
+        ("plans", Planlog.to_json ());
+      ])
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755

@@ -14,7 +14,8 @@ type input =
   | Run of Json.t  (** asura-run/1 manifest *)
   | Bench of Json.t  (** asura-bench/\{1,2,3\} snapshot *)
   | Stats of Json.t  (** asura-stats/1 *)
-  | Explain of Json.t  (** asura-explain/1 *)
+  | Explain of Json.t  (** asura-explain/\{1,2\} *)
+  | Plans of Json.t  (** asura-plans/1 snapshot (asura plan snapshot) *)
 
 let classify doc =
   match schema_of doc with
@@ -22,7 +23,8 @@ let classify doc =
   | Some s when String.length s >= 12 && String.sub s 0 12 = "asura-bench/" ->
       Ok (Bench doc)
   | Some "asura-stats/1" -> Ok (Stats doc)
-  | Some "asura-explain/1" -> Ok (Explain doc)
+  | Some ("asura-explain/1" | "asura-explain/2") -> Ok (Explain doc)
+  | Some "asura-plans/1" -> Ok (Plans doc)
   | Some s -> Error (Printf.sprintf "unsupported schema %S" s)
   | None -> Error "document has no \"schema\" field"
 
@@ -31,6 +33,7 @@ type t = {
   benches : (string * Json.t) list;
   stats : (string * Json.t) list;
   explains : (string * Json.t) list;
+  plan_docs : (string * Json.t) list;
 }
 
 (* A malformed document no longer poisons the whole report: it is
@@ -44,6 +47,7 @@ let collect labeled =
             benches = List.rev acc.benches;
             stats = List.rev acc.stats;
             explains = List.rev acc.explains;
+            plan_docs = List.rev acc.plan_docs;
           },
           List.rev skipped )
     | (label, doc) :: rest -> (
@@ -55,12 +59,17 @@ let collect labeled =
         | Ok (Stats d) ->
             go { acc with stats = (label, d) :: acc.stats } skipped rest
         | Ok (Explain d) ->
-            go { acc with explains = (label, d) :: acc.explains } skipped rest)
+            go { acc with explains = (label, d) :: acc.explains } skipped rest
+        | Ok (Plans d) ->
+            go { acc with plan_docs = (label, d) :: acc.plan_docs } skipped rest)
   in
-  go { runs = []; benches = []; stats = []; explains = [] } [] labeled
+  go
+    { runs = []; benches = []; stats = []; explains = []; plan_docs = [] }
+    [] labeled
 
 let is_empty agg =
   agg.runs = [] && agg.benches = [] && agg.stats = [] && agg.explains = []
+  && agg.plan_docs = []
 
 (* ------------------------- coverage aggregation ----------------------- *)
 
@@ -170,6 +179,17 @@ let invariant_matrix agg =
             Option.value ~default:(0, 0) (List.assoc_opt id counts))
           per_run ))
     ids
+
+(* --------------------------- plan observatory ------------------------- *)
+
+(* Run manifests embed their plan log under "plans" (asura-run/1 stays
+   additive); standalone asura-plans/1 snapshots carry it top-level.
+   Planlog.of_json understands both shapes, so aggregation is one merge
+   over every input that has anything to say about plans. *)
+let plans agg =
+  Planlog.aggregate
+    (List.map (fun (_, doc) -> Planlog.of_json doc) agg.runs
+    @ List.map (fun (_, doc) -> Planlog.of_json doc) agg.plan_docs)
 
 (* ------------------------------ bench diff ---------------------------- *)
 
@@ -361,12 +381,37 @@ let render_markdown ?(decode : decode option) ?(max_uncovered = 10)
             (if bad then " ⚠ slowdown" else ""))
         diff;
       pr "\n");
+  (match plans agg with
+  | [] -> ()
+  | entries ->
+      pr "## Plan observatory\n\n";
+      pr "%d distinct plans across %d executions.\n\n" (List.length entries)
+        (List.fold_left (fun n e -> n + e.Planlog.e_execs) 0 entries);
+      pr "| fingerprint | site | query | execs | total ms | rows | misest |\n";
+      pr "|---|---|---|---:|---:|---:|---:|\n";
+      let worst_first =
+        List.sort
+          (fun a b -> compare (Planlog.misest b) (Planlog.misest a))
+          entries
+      in
+      List.iteri
+        (fun i (e : Planlog.entry) ->
+          if i < max_uncovered then
+            pr "| `%s` | %s | %s | %d | %.3f | %d | %.2fx |\n" e.e_fingerprint
+              (md_escape e.e_site) (md_escape e.e_query) e.e_execs
+              (e.e_total_ns /. 1e6) e.e_rows_out (Planlog.misest e))
+        worst_first;
+      if List.length worst_first > max_uncovered then
+        pr "| … %d more | | | | | | |\n"
+          (List.length worst_first - max_uncovered);
+      pr "\n");
   List.iter
     (fun (label, _) -> pr "_Validated %s (asura-stats/1)._\n" (md_escape label))
     agg.stats;
   List.iter
-    (fun (label, _) ->
-      pr "_Validated %s (asura-explain/1)._\n" (md_escape label))
+    (fun (label, doc) ->
+      pr "_Validated %s (%s)._\n" (md_escape label)
+        (Option.value ~default:"asura-explain/?" (schema_of doc)))
     agg.explains;
   Buffer.contents buf
 
@@ -544,4 +589,7 @@ let to_json ?(decode : decode option) ?(skipped = []) agg =
                    ("slowdown", Json.Bool bad);
                  ])
              (bench_diff agg)) );
+      (* same aggregation the systables layer materializes as sys.plans,
+         so CI can assert parity between the SQL path and the report *)
+      ("plans", Planlog.entries_to_json (plans agg));
     ]

@@ -1,14 +1,19 @@
 (** Cross-run aggregation behind [asura report].
 
     Inputs are JSON documents the toolchain emits elsewhere —
-    [asura-run/1] manifests, [asura-bench/*] snapshots, [asura-stats/1]
-    and [asura-explain/1] — classified by their ["schema"] field.
-    Coverage bitmaps from multiple runs are ORed per (table, rows);
-    decoding uncovered rows back to readable transitions needs the
-    protocol layer, so renderers take an optional [decode] callback
-    supplied by the CLI. *)
+    [asura-run/1] manifests, [asura-bench/*] snapshots, [asura-stats/1],
+    [asura-explain/\{1,2\}] and [asura-plans/1] — classified by their
+    ["schema"] field.  Coverage bitmaps from multiple runs are ORed per
+    (table, rows); decoding uncovered rows back to readable transitions
+    needs the protocol layer, so renderers take an optional [decode]
+    callback supplied by the CLI. *)
 
-type input = Run of Json.t | Bench of Json.t | Stats of Json.t | Explain of Json.t
+type input =
+  | Run of Json.t
+  | Bench of Json.t
+  | Stats of Json.t
+  | Explain of Json.t
+  | Plans of Json.t
 
 val classify : Json.t -> (input, string) result
 (** [Error] for a missing or unsupported ["schema"] field. *)
@@ -18,6 +23,7 @@ type t = {
   benches : (string * Json.t) list;
   stats : (string * Json.t) list;
   explains : (string * Json.t) list;
+  plan_docs : (string * Json.t) list;  (** standalone asura-plans/1 *)
 }
 
 val collect : (string * Json.t) list -> t * (string * string) list
@@ -44,6 +50,12 @@ val bench_diff : ?threshold:float -> t -> (string * float * float * float * bool
 (** First-vs-last bench snapshot: (name, baseline ns, latest ns, ratio,
     ratio > threshold) per benchmark present in both — the same diff
     the CI baseline gate applies ([threshold] defaults to 3x). *)
+
+val plans : t -> Planlog.entry list
+(** Plan-observatory entries merged across every run manifest's embedded
+    ["plans"] member and every standalone [asura-plans/1] snapshot, via
+    {!Planlog.aggregate} — the same aggregation the systables layer
+    materializes as [sys.plans]. *)
 
 type decode = table:string -> rows:int -> row:int -> string option
 (** Decode row [row] of table [table] to a readable transition; [rows]

@@ -21,6 +21,8 @@ let table_names =
     "sys.runs";
     "sys.run_metrics";
     "sys.bench";
+    "sys.plans";
+    "sys.plan_ops";
   ]
 
 (* A query "mentions" the sys namespace when some identifier-shaped
@@ -362,6 +364,61 @@ let bench_rows (label, doc) =
 let bench docs =
   Table.of_rows ~name:"sys.bench" bench_schema (List.concat_map bench_rows docs)
 
+(* ------------------------- sys.plans / sys.plan_ops ------------------- *)
+
+let plans_schema =
+  Schema.of_list
+    [ "fingerprint"; "site"; "query"; "est_cost"; "execs"; "total_ms";
+      "rows_out"; "misest" ]
+
+(* One row per (site, fingerprint) — the plan observatory's aggregation
+   unit.  misest is pre-computed (max per-node estimation error) so the
+   acceptance query "worst estimated plans" stays ORDER BY misest DESC
+   in the SUM-less SQL subset, exactly like sys.span_stats. *)
+let plans_of entries =
+  Table.of_rows ~name:"sys.plans" plans_schema
+    (List.map
+       (fun (e : Obs.Planlog.entry) ->
+         [|
+           Value.Str e.e_fingerprint;
+           Value.Str e.e_site;
+           Value.Str e.e_query;
+           Value.Float e.e_est_cost;
+           Value.Int e.e_execs;
+           Value.Float (e.e_total_ns /. 1e6);
+           Value.Int e.e_rows_out;
+           Value.Float (Obs.Planlog.misest e);
+         |])
+       entries)
+
+let plan_ops_schema =
+  Schema.of_list
+    [ "fingerprint"; "site"; "seq"; "op"; "est_rows"; "est_cost";
+      "actual_rows"; "actual_ms"; "batches" ]
+
+(* Per-operator detail, joinable back to sys.plans on (fingerprint,
+   site); seq is the pre-order position within the plan. *)
+let plan_ops_of entries =
+  Table.of_rows ~name:"sys.plan_ops" plan_ops_schema
+    (List.concat_map
+       (fun (e : Obs.Planlog.entry) ->
+         Array.to_list
+           (Array.map
+              (fun (o : Obs.Planlog.op_rec) ->
+                [|
+                  Value.Str e.e_fingerprint;
+                  Value.Str e.e_site;
+                  Value.Int o.seq;
+                  Value.Str o.o_op;
+                  Value.Float o.o_est_rows;
+                  Value.Float o.o_est_cost;
+                  Value.Int o.o_actual_rows;
+                  Value.Float (o.o_actual_ns /. 1e6);
+                  Value.Int o.o_batches;
+                |])
+              e.e_ops))
+       entries)
+
 (* ------------------------------- attach ------------------------------- *)
 
 let put db t = Database.replace_system db t
@@ -373,7 +430,10 @@ let attach_live db =
   let db = put db (spans ()) in
   let db = put db (span_stats ()) in
   let db = put db (metrics ()) in
-  put db (coverage ())
+  let db = put db (coverage ()) in
+  let plan_entries = Obs.Planlog.snapshot () in
+  let db = put db (plans_of plan_entries) in
+  put db (plan_ops_of plan_entries)
 
 (* Manifest-backed snapshot: sys.coverage is built from the SAME
    Runreport aggregation (bitmaps ORed per (table, rows)) that asura
@@ -385,6 +445,12 @@ let attach_docs docs db =
   let db = put db (run_metrics agg.Obs.Runreport.runs) in
   let db = put db (bench agg.Obs.Runreport.benches) in
   let db = put db (coverage_of (Obs.Runreport.coverage agg)) in
+  (* the SAME aggregation asura report renders and exports under its
+     "plans" member, so the CI parity check (sys.plans vs report --json)
+     holds by construction *)
+  let plan_entries = Obs.Runreport.plans agg in
+  let db = put db (plans_of plan_entries) in
+  let db = put db (plan_ops_of plan_entries) in
   (db, skipped)
 
 (* ---------------------------- canned queries -------------------------- *)
@@ -423,6 +489,22 @@ let canned =
       live = true;
     };
     {
+      key = "hottest-plans";
+      title = "Hottest plans (by total execution time)";
+      sql =
+        "SELECT fingerprint, site, query, execs, total_ms, rows_out FROM \
+         sys.plans ORDER BY total_ms DESC LIMIT 10";
+      live = true;
+    };
+    {
+      key = "worst-misest";
+      title = "Worst cardinality misestimates (est vs actual)";
+      sql =
+        "SELECT fingerprint, site, query, misest, est_cost, rows_out FROM \
+         sys.plans ORDER BY misest DESC LIMIT 5";
+      live = true;
+    };
+    {
       key = "speedup-regressions";
       title = "Bench speedup regressions (speedup < 1.0)";
       sql =
@@ -431,6 +513,43 @@ let canned =
       live = false;
     };
   ]
+
+(* ---------------------------- plan workload --------------------------- *)
+
+(* The deterministic workload behind [asura plan snapshot], the golden
+   fingerprint tests and the CI plan gate.  A fixed set of SQL and
+   programmatic shapes over the generated protocol tables, chosen to
+   cover every physical decision the fingerprint witnesses: predicate
+   placement, top-k recognition, distinct, group and — through the bench
+   rep-join-group shape — the hash-join build-side choice that
+   ASURA_PLAN_BUILD flips for the planted-regression drill.  Running it
+   twice yields identical fingerprints, so a clean diff is the expected
+   baseline state. *)
+let plan_workload_site = "workload:plans"
+
+let plan_workload_sql =
+  [
+    "SELECT dirst, dirpv FROM D WHERE dirst = 'MESI' AND NOT dirpv = 'one'";
+    "SELECT * FROM D WHERE inmsg = 'readex'";
+    "SELECT inmsg, COUNT(*) FROM D GROUP BY inmsg ORDER BY count DESC \
+     LIMIT 5";
+    "SELECT DISTINCT locmsg FROM D ORDER BY locmsg";
+  ]
+
+let run_plan_workload db =
+  Obs.Planlog.with_site plan_workload_site @@ fun () ->
+  List.iter (fun q -> ignore (Sql_exec.query db q)) plan_workload_sql;
+  (* join back a distinct projection, then a two-column group — the
+     join's build side is the decision the plan gate drills *)
+  match Database.find_opt db "D" with
+  | None -> ()
+  | Some d ->
+      let states = Planner.distinct (Ops.project [ "dirst"; "dirpv" ] d) in
+      ignore
+        (Planner.equi_join
+           ~on:[ "dirst", "dirst"; "dirpv", "dirpv" ]
+           d states);
+      ignore (Planner.group_count ~by:[ "inmsg"; "dirst" ] d)
 
 (* ------------------------------- trend -------------------------------- *)
 

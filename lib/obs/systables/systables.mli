@@ -75,20 +75,36 @@ val bench : (string * Obs.Json.t) list -> Relalg.Table.t
     representation comparisons ([kind = "representation"]) of every
     [asura-bench/*] snapshot; [regression] is [speedup < 1.0]. *)
 
+(** {1 Plan observatory tables} *)
+
+val plans_of : Obs.Planlog.entry list -> Relalg.Table.t
+(** [sys.plans](fingerprint, site, query, est_cost, execs, total_ms,
+    rows_out, misest): one row per (site, fingerprint) plan record.
+    [misest] is pre-computed ({!Obs.Planlog.misest}) so "worst estimated
+    plans" is [ORDER BY misest DESC] in the SUM-less SQL subset. *)
+
+val plan_ops_of : Obs.Planlog.entry list -> Relalg.Table.t
+(** [sys.plan_ops](fingerprint, site, seq, op, est_rows, est_cost,
+    actual_rows, actual_ms, batches): per-operator detail in pre-order,
+    joinable back to [sys.plans] on (fingerprint, site). *)
+
 (** {1 Attaching} *)
 
 val attach_live : Relalg.Database.t -> Relalg.Database.t
-(** Attach [sys.spans], [sys.span_stats], [sys.metrics] and
-    [sys.coverage] snapshotted from the live registries. *)
+(** Attach [sys.spans], [sys.span_stats], [sys.metrics], [sys.coverage],
+    [sys.plans] and [sys.plan_ops] snapshotted from the live
+    registries. *)
 
 val attach_docs :
   (string * Obs.Json.t) list ->
   Relalg.Database.t ->
   Relalg.Database.t * (string * string) list
-(** Attach [sys.runs], [sys.run_metrics], [sys.bench] and
-    [sys.coverage] built from labeled documents.  Returns the
-    [(label, reason)] list of documents {!Obs.Runreport.collect}
-    skipped. *)
+(** Attach [sys.runs], [sys.run_metrics], [sys.bench], [sys.coverage],
+    [sys.plans] and [sys.plan_ops] built from labeled documents.  The
+    plan tables come from {!Obs.Runreport.plans} — the same aggregation
+    [asura report] renders — so SQL answers and report answers agree by
+    construction.  Returns the [(label, reason)] list of documents
+    {!Obs.Runreport.collect} skipped. *)
 
 (** {1 Canned queries} *)
 
@@ -102,6 +118,24 @@ type canned = {
 val canned : canned list
 (** The [asura top] query library — each entry is plain SQL over the
     [sys.] tables, executed through the ordinary planner. *)
+
+(** {1 Plan workload} *)
+
+val plan_workload_site : string
+(** ["workload:plans"] — the site label every workload execution records
+    under. *)
+
+val plan_workload_sql : string list
+(** The SQL half of the deterministic plan workload. *)
+
+val run_plan_workload : Relalg.Database.t -> unit
+(** Execute the deterministic plan workload (SQL shapes plus the bench
+    rep-join-group programmatic shapes) against [db], recording every
+    plan under {!plan_workload_site}.  The basis of [asura plan
+    snapshot], the golden fingerprint tests and the CI plan gate: two
+    runs produce identical fingerprints; flipping a join build side
+    (e.g. [ASURA_PLAN_BUILD=right]) changes exactly the join
+    fingerprints. *)
 
 (** {1 Trend} *)
 

@@ -17,31 +17,54 @@ type source = {
   cols : int array array;
       (* stable per-operator buffers; row [i] of the current batch is
          [cols.(j).(i)] for every column [j] *)
+  width : int;
+      (* max rows a single batch may carry: [batch_rows] for operators
+         that re-batch, the full cardinality for borrowed table scans —
+         consumers size their gather buffers to this *)
   pull : unit -> int;  (* rows in the next batch; -1 when exhausted *)
 }
 
 let schema s = s.schema
 
+(* Scan-copy accounting for sys.plan_ops: whole-column borrows vs the
+   bytes the engine still has to materialize (filter gathers, drains). *)
+let relalg_metrics = lazy (Obs.Metrics.registry "relalg")
+
+let bytes_borrowed =
+  lazy (Obs.Metrics.counter (Lazy.force relalg_metrics) "batch.bytes_borrowed")
+
+let bytes_copied =
+  lazy (Obs.Metrics.counter (Lazy.force relalg_metrics) "batch.bytes_copied")
+
+let word_bytes = Sys.word_size / 8
+
 (* ------------------------------ sources ------------------------------ *)
 
+(* A table scan consumes entire stored columns with no selection vector,
+   so there is nothing to re-batch: hand out the table's own code
+   buffers (immutable by {!Table.codes}' contract) as one full-width
+   batch instead of blitting [batch_rows]-sized windows.  Downstream
+   operators bind buffers once before the first pull either way. *)
 let of_table t =
   let arity = Table.arity t in
   let n = Table.cardinality t in
-  let base = Array.init arity (Table.codes t) in
-  let cols = Array.init arity (fun _ -> Array.make batch_rows 0) in
-  let pos = ref 0 in
+  let cols = Array.init arity (Table.codes t) in
+  let spent = ref false in
   let pull () =
-    if !pos >= n then -1
+    if !spent then -1
     else begin
-      let b = min batch_rows (n - !pos) in
-      for j = 0 to arity - 1 do
-        Array.blit base.(j) !pos cols.(j) 0 b
-      done;
-      pos := !pos + b;
-      b
+      spent := true;
+      Obs.Metrics.add (Lazy.force bytes_borrowed) (word_bytes * arity * n);
+      n
     end
   in
-  { schema = Table.schema t; dicts = Array.init arity (Table.dict t); cols; pull }
+  {
+    schema = Table.schema t;
+    dicts = Array.init arity (Table.dict t);
+    cols;
+    width = max 1 n;
+    pull;
+  }
 
 (* --------------------------- streaming ops --------------------------- *)
 
@@ -53,8 +76,8 @@ let select ?funcs pred src =
       ~codes:(fun j -> src.cols.(j))
       pred
   in
-  let out = Array.init arity (fun _ -> Array.make batch_rows 0) in
-  let sel = Array.make batch_rows 0 in
+  let out = Array.init arity (fun _ -> Array.make src.width 0) in
+  let sel = Array.make src.width 0 in
   let pull () =
     let n = src.pull () in
     if n < 0 then -1
@@ -75,6 +98,7 @@ let select ?funcs pred src =
           Array.unsafe_set d k (Array.unsafe_get s (Array.unsafe_get sel k))
         done
       done;
+      Obs.Metrics.add (Lazy.force bytes_copied) (word_bytes * arity * m);
       m
     end
   in
@@ -87,6 +111,7 @@ let project cols src =
     schema = Schema.project src.schema cols;
     dicts = Array.of_list (List.map (fun j -> src.dicts.(j)) js);
     cols = Array.of_list (List.map (fun j -> src.cols.(j)) js);
+    width = src.width;
     pull = src.pull;
   }
 
@@ -94,6 +119,15 @@ let tap f src =
   let pull () =
     let b = src.pull () in
     if b > 0 then f b;
+    b
+  in
+  { src with pull }
+
+let timed f src =
+  let pull () =
+    let t0 = Obs.Clock.now_ns () in
+    let b = src.pull () in
+    f (Obs.Clock.since t0) b;
     b
   in
   { src with pull }
@@ -118,7 +152,7 @@ let limit n src =
 (* Accumulate a whole stream into growable per-column code arrays. *)
 let drain src =
   let arity = Array.length src.cols in
-  let cap = ref batch_rows in
+  let cap = ref (max batch_rows src.width) in
   let data = ref (Array.init arity (fun _ -> Array.make !cap 0)) in
   let n = ref 0 in
   let rec loop () =
@@ -135,6 +169,7 @@ let drain src =
             !data;
         cap := cap'
       end;
+      Obs.Metrics.add (Lazy.force bytes_copied) (word_bytes * arity * b);
       let dst = !data in
       for j = 0 to arity - 1 do
         Array.blit src.cols.(j) 0 dst.(j) !n b

@@ -23,18 +23,26 @@
     when either input carries lineage). *)
 
 val batch_rows : int
-(** Rows per batch (1024). *)
+(** Rows per re-batching operator's batch (1024).  Borrowed table scans
+    ({!of_table}) emit one batch of the full cardinality instead;
+    operators size their buffers to the stream's declared width, so
+    either shape flows through every consumer. *)
 
 type source
-(** A pull-based stream of batches.  Each pull refills the source's own
-    stable column buffers and returns the number of valid rows, so
-    compiled predicates can bind to the buffers once, before the first
-    pull. *)
+(** A pull-based stream of batches.  Each pull refills (or, for borrowed
+    scans, reveals) the source's own stable column buffers and returns
+    the number of valid rows, so compiled predicates can bind to the
+    buffers once, before the first pull. *)
 
 val schema : source -> Schema.t
 
 val of_table : Table.t -> source
-(** Stream a table's code buffers in windows of {!batch_rows} rows. *)
+(** Borrow the table's code buffers as a single full-cardinality batch —
+    no per-batch copy, safe because {!Table.codes} buffers are immutable
+    by contract.  Bytes handed out this way are counted by the
+    [batch.bytes_borrowed] counter of the ["relalg"] metrics registry
+    (vs [batch.bytes_copied] for filter gathers and drains), so
+    [sys.metrics] shows the scan-copy win. *)
 
 val select : ?funcs:Expr.funcs -> Expr.t -> source -> source
 (** Filter with a predicate compiled once against the input buffers
@@ -51,6 +59,12 @@ val tap : (int -> unit) -> source -> source
 (** Observe the stream: [f] is called with each non-empty batch's row
     count — how the planner records actual per-operator cardinalities
     for [EXPLAIN --analyze] without materializing. *)
+
+val timed : (int64 -> int -> unit) -> source -> source
+(** Time the stream: [f ns b] is called after every pull with the wall
+    time spent in it (inclusive of upstream pulls) and the pull's result
+    ([-1] at end of stream) — how the planner fills per-operator
+    [actual_ms]/[batches] for the plan observatory. *)
 
 val count : source -> int
 (** Drain, counting rows. *)

@@ -13,6 +13,21 @@ let enabled () =
 
 let active () = enabled () && not (Lineage.tracking ())
 
+(* ASURA_PLAN_BUILD=left|right overrides the hash-join build-side choice
+   everywhere (annotation and the programmatic [equi_join]).  This is
+   the deterministic "planted plan regression" knob: the structural
+   fingerprint covers the build side, so flipping it is exactly what
+   `asura plan diff --strict` and the CI plan gate must catch.  Read
+   dynamically, like ASURA_PLANNER. *)
+let forced_build_side () =
+  match Sys.getenv_opt "ASURA_PLAN_BUILD" with
+  | Some ("left" | "LEFT" | "l") -> Some true
+  | Some ("right" | "RIGHT" | "r") -> Some false
+  | _ -> None
+
+let choose_build_side ~auto =
+  match forced_build_side () with Some b -> b | None -> auto
+
 (* ------------------------- annotated plans ---------------------------- *)
 
 type keys = (string * [ `Asc | `Desc ]) list
@@ -38,6 +53,8 @@ type t = {
   est : float;  (* estimated output rows *)
   cost : float;  (* cumulative cost estimate, in abstract row-touches *)
   mutable actual : int;  (* output rows observed by execution; -1 before *)
+  mutable ns : int64;  (* wall time at this node, inclusive of children *)
+  mutable batches : int;  (* batches pulled through (streaming nodes) *)
   children : t list;
 }
 
@@ -59,8 +76,7 @@ let restrict st rows =
   let rows = max 0. rows in
   { st with rows; ndv = List.map (fun (c, n) -> (c, min n (max 1. rows))) st.ndv }
 
-let scan_stats db name =
-  let t = Database.find db name in
+let table_stats t =
   let rows = float_of_int (Table.cardinality t) in
   let cols = Schema.columns (Table.schema t) in
   let ndv =
@@ -69,6 +85,8 @@ let scan_stats db name =
       cols
   in
   { rows; cols; ndv }
+
+let scan_stats db name = table_stats (Database.find db name)
 
 (* Textbook selectivities over dictionary ndv: equality selects 1/ndv,
    range predicates a third, IN k values k/ndv, registered functions an
@@ -186,7 +204,8 @@ let rec push_into_joins db (p : Plan.t) : Plan.t =
 
 (* ---------------------------- annotation ------------------------------ *)
 
-let node op est cost children = { op; est; cost; actual = -1; children }
+let node op est cost children =
+  { op; est; cost; actual = -1; ns = 0L; batches = 0; children }
 
 let rec annotate db (p : Plan.t) : t * stats =
   match p with
@@ -253,8 +272,9 @@ let rec annotate db (p : Plan.t) : t * stats =
           1. on
       in
       let rows = sta.rows *. stb.rows *. key_sel in
-      (* build the hash index on the estimated-smaller side *)
-      let build_left = sta.rows <= stb.rows in
+      (* build the hash index on the estimated-smaller side, unless
+         ASURA_PLAN_BUILD forces a side *)
+      let build_left = choose_build_side ~auto:(sta.rows <= stb.rows) in
       let keys = List.map snd on in
       let kept_b = List.filter (fun c -> not (List.mem c keys)) stb.cols in
       let ndv =
@@ -301,38 +321,207 @@ let rec annotate db (p : Plan.t) : t * stats =
 let plan db (p : Plan.t) : t =
   fst (annotate db (push_into_joins db (Plan.optimize p)))
 
+(* ---------------------------- fingerprint ----------------------------- *)
+
+(* Canonical per-node strings hashed into the structural plan
+   fingerprint.  Column references are rewritten to positional indices
+   into the node's input columns, so renaming columns leaves the
+   fingerprint unchanged; a filter's conjuncts are canonicalized
+   individually and sorted, so predicate order doesn't matter; build
+   side, top-k recognition and pushdown placement all appear in the
+   node strings, so every physical decision does. *)
+
+let index_of c cols =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when String.equal x c -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 cols
+
+let col_ref cols c =
+  match index_of c cols with
+  | Some i -> "#" ^ string_of_int i
+  | None -> c (* unresolvable column: keep the name, still deterministic *)
+
+let canon_operand cols = function
+  | Expr.Col c -> col_ref cols c
+  | Expr.Const v -> Value.to_sql v
+
+(* Equality and inequality are commutative: normalize by sorting the
+   rendered operands, so [a = b] and [b = a] fingerprint identically. *)
+let rec canon_expr cols (e : Expr.t) =
+  let opnd = canon_operand cols in
+  let commut tag a b =
+    let a = opnd a and b = opnd b in
+    let a, b = if String.compare a b <= 0 then (a, b) else (b, a) in
+    Printf.sprintf "%s(%s,%s)" tag a b
+  in
+  match e with
+  | Expr.True -> "t"
+  | Expr.False -> "f"
+  | Expr.Eq (a, b) -> commut "eq" a b
+  | Expr.Neq (a, b) -> commut "ne" a b
+  | Expr.Cmp (c, a, b) ->
+      Printf.sprintf "%s(%s,%s)" (Expr.cmp_to_string c) (opnd a) (opnd b)
+  | Expr.In (a, vs) ->
+      Printf.sprintf "in(%s,[%s])" (opnd a)
+        (String.concat ";" (List.sort compare (List.map Value.to_sql vs)))
+  | Expr.Fn (f, a) -> Printf.sprintf "fn:%s(%s)" f (opnd a)
+  | Expr.And (a, b) -> conj_string cols (Expr.And (a, b))
+  | Expr.Or (a, b) ->
+      Printf.sprintf "or(%s)"
+        (String.concat ","
+           (List.sort compare [ canon_expr cols a; canon_expr cols b ]))
+  | Expr.Not a -> Printf.sprintf "not(%s)" (canon_expr cols a)
+  | Expr.Ternary (c, a, b) ->
+      Printf.sprintf "if(%s,%s,%s)" (canon_expr cols c) (canon_expr cols a)
+        (canon_expr cols b)
+
+(* Flattened conjunct list, canonicalized then sorted: AND is
+   commutative and associative, and [push_into_joins] already reorders
+   conjuncts freely. *)
+and conj_string cols e =
+  match conjuncts e with
+  | [ single ] -> canon_expr cols single
+  | cs ->
+      Printf.sprintf "and(%s)"
+        (String.concat "," (List.sort compare (List.map (canon_expr cols) cs)))
+
+let canon_keys cols keys =
+  String.concat ","
+    (List.map
+       (fun (c, d) ->
+         col_ref cols c ^ match d with `Asc -> "" | `Desc -> " desc")
+       keys)
+
+(* Pre-order canonical strings plus the node's output columns.  The scan
+   schema comes through [lookup] so programmatic plans (whose inputs are
+   tables, not database names) fingerprint with the same machinery. *)
+let rec canon lookup n =
+  let child () =
+    match n.children with
+    | [ c ] -> canon lookup c
+    | _ -> invalid_arg "Planner.canon: arity"
+  in
+  let two () =
+    match n.children with
+    | [ a; b ] -> (canon lookup a, canon lookup b)
+    | _ -> invalid_arg "Planner.canon: arity"
+  in
+  match n.op with
+  | Scan name ->
+      ([ "scan:" ^ name ], Option.value ~default:[] (lookup name))
+  | Filter e ->
+      let parts, cols = child () in
+      (("filter:" ^ conj_string cols e) :: parts, cols)
+  | Project cs ->
+      let parts, cols = child () in
+      ( Printf.sprintf "project:[%s]"
+          (String.concat "," (List.map (col_ref cols) cs))
+        :: parts,
+        cs )
+  | Distinct ->
+      let parts, cols = child () in
+      ("distinct" :: parts, cols)
+  | Sort keys ->
+      let parts, cols = child () in
+      (Printf.sprintf "sort:[%s]" (canon_keys cols keys) :: parts, cols)
+  | Topk (k, keys) ->
+      let parts, cols = child () in
+      ( Printf.sprintf "topk:%d:[%s]" k (canon_keys cols keys) :: parts,
+        cols )
+  | Limit k ->
+      let parts, cols = child () in
+      (Printf.sprintf "limit:%d" k :: parts, cols)
+  | Hash_join { on; build_left } ->
+      let (pa, ca), (pb, cb) = two () in
+      let keys = List.map snd on in
+      let out = ca @ List.filter (fun c -> not (List.mem c keys)) cb in
+      ( Printf.sprintf "hashjoin:[%s]:build=%s"
+          (String.concat ","
+             (List.map
+                (fun (l, r) -> col_ref ca l ^ "=" ^ col_ref cb r)
+                on))
+          (if build_left then "L" else "R")
+        :: (pa @ pb),
+        out )
+  | Union ->
+      let (pa, ca), (pb, _) = two () in
+      (("union" :: pa) @ pb, ca)
+  | Except ->
+      let (pa, ca), (pb, _) = two () in
+      (("except" :: pa) @ pb, ca)
+  | Intersect ->
+      let (pa, ca), (pb, _) = two () in
+      (("intersect" :: pa) @ pb, ca)
+  | Count ->
+      let parts, _ = child () in
+      ("count" :: parts, [ "count" ])
+  | Group cs ->
+      let parts, cols = child () in
+      ( Printf.sprintf "group:[%s]"
+          (String.concat "," (List.map (col_ref cols) cs))
+        :: parts,
+        cs @ [ "count" ] )
+  | Nothing cs ->
+      ([ Printf.sprintf "empty:%d" (List.length cs) ], cs)
+
+let fingerprint_with lookup root = Obs.Planlog.fingerprint (fst (canon lookup root))
+
+let db_lookup db name =
+  Option.map
+    (fun t -> Schema.columns (Table.schema t))
+    (Database.find_opt db name)
+
+let fingerprint db root = fingerprint_with (db_lookup db) root
+
 (* ---------------------------- execution ------------------------------- *)
 
 (* Streaming nodes compose {!Batch} sources, tapped so [actual] counts
-   accumulate per operator; blocking nodes materialize tables (their
-   [actual] is the result cardinality) and re-enter the stream via
-   {!Batch.of_table}. *)
+   accumulate per operator and timed per pull so [ns]/[batches] fill in;
+   blocking nodes materialize tables (their [actual] is the result
+   cardinality, their [ns] the wall time of the whole materialization)
+   and re-enter the stream via {!Batch.of_table}.  All [ns] figures are
+   inclusive of children, matching the plan-observatory convention. *)
+let timed n (src : Batch.source) =
+  Batch.timed
+    (fun ns b ->
+      n.ns <- Int64.add n.ns ns;
+      if b >= 0 then n.batches <- n.batches + 1)
+    src
+
 let rec source_of db (n : t) : Batch.source =
   match (n.op, n.children) with
   | Scan name, [] ->
       let t = Database.find db name in
       n.actual <- Table.cardinality t;
-      Batch.of_table t
+      timed n (Batch.of_table t)
   | Filter e, [ c ] ->
       n.actual <- 0;
-      Batch.tap
-        (fun b -> n.actual <- n.actual + b)
-        (Batch.select ~funcs:(Database.functions db) e (source_of db c))
+      timed n
+        (Batch.tap
+           (fun b -> n.actual <- n.actual + b)
+           (Batch.select ~funcs:(Database.functions db) e (source_of db c)))
   | Project cols, [ c ] ->
       n.actual <- 0;
-      Batch.tap
-        (fun b -> n.actual <- n.actual + b)
-        (Batch.project cols (source_of db c))
+      timed n
+        (Batch.tap
+           (fun b -> n.actual <- n.actual + b)
+           (Batch.project cols (source_of db c)))
   | Limit k, [ c ] ->
       n.actual <- 0;
-      Batch.tap
-        (fun b -> n.actual <- n.actual + b)
-        (Batch.limit k (source_of db c))
+      timed n
+        (Batch.tap
+           (fun b -> n.actual <- n.actual + b)
+           (Batch.limit k (source_of db c)))
   | _ -> Batch.of_table (execute db n)
 
 and execute db (n : t) : Table.t =
+  let t0 = Obs.Clock.now_ns () in
   let record t =
     n.actual <- Table.cardinality t;
+    n.ns <- Obs.Clock.since t0;
     t
   in
   match (n.op, n.children) with
@@ -369,11 +558,6 @@ and execute db (n : t) : Table.t =
   | Nothing cols, [] ->
       record (Table.create ~name:"<empty>" (Schema.of_list cols))
   | _ -> invalid_arg "Planner.execute: malformed plan"
-
-let run_plan db p = execute db (plan db p)
-
-let run_query db (q : Sql_ast.query) =
-  Table.with_name "<query>" (run_plan db (Plan.of_query q))
 
 (* --------------------------- rendering -------------------------------- *)
 
@@ -424,9 +608,68 @@ let render root =
 let explain db src =
   render (plan db (Plan.of_query (Sql_parser.parse_query src)))
 
+(* ------------------------- plan observatory --------------------------- *)
+
+(* Pre-order per-operator telemetry handed to the {!Obs.Planlog}
+   collector; [actual_ns] is inclusive of children, as measured. *)
+let rec planlog_ops n =
+  {
+    Obs.Planlog.op = op_string n.op;
+    est_rows = n.est;
+    est_cost = n.cost;
+    actual_rows = max 0 n.actual;
+    actual_ns = Int64.to_float n.ns;
+    batches = n.batches;
+  }
+  :: List.concat_map planlog_ops n.children
+
+(* The plan-diff key is (site, query), so the label must identify the
+   *logical* workload: it deliberately omits physical choices (build
+   side) the fingerprint tracks — otherwise a plan change would report
+   as removed+added instead of changed. *)
+let label_of root =
+  match root.op with
+  | Hash_join { on; _ } ->
+      Printf.sprintf "join [%s]"
+        (String.concat ", "
+           (List.map (fun (l, r) -> Printf.sprintf "%s=%s" l r) on))
+  | op -> op_string op
+
+let observe ?query ~lookup root total_ns rows_out =
+  if Obs.Config.on () then
+    let query = match query with Some q -> q | None -> label_of root in
+    Obs.Planlog.record
+      ~fingerprint:(fingerprint_with lookup root)
+      ~query ~est_cost:root.cost
+      ~total_ns:(Int64.to_float total_ns)
+      ~rows_out (planlog_ops root)
+
+let run_annotated ?query db root =
+  let t0 = Obs.Clock.now_ns () in
+  let t = execute db root in
+  observe ?query ~lookup:(db_lookup db) root (Obs.Clock.since t0)
+    (Table.cardinality t);
+  t
+
+let run_plan db p = run_annotated db (plan db p)
+
+let run_query ?label db (q : Sql_ast.query) =
+  let query =
+    match label with
+    | Some l -> l
+    | None -> Format.asprintf "%a" Sql_ast.pp_query q
+  in
+  Table.with_name "<query>"
+    (run_annotated ~query db (plan db (Plan.of_query q)))
+
 (* -------------------------- EXPLAIN ANALYZE --------------------------- *)
 
-type report = { table : Table.t; root : t; total_ns : int64 }
+type report = {
+  table : Table.t;
+  root : t;
+  total_ns : int64;
+  fingerprint : string;
+}
 
 let analyze db src =
   Obs.Trace.with_span ~cat:"relalg"
@@ -436,12 +679,23 @@ let analyze db src =
   let t0 = Obs.Clock.now_ns () in
   let root = plan db (Plan.of_query (Sql_parser.parse_query src)) in
   let table = Table.with_name "<query>" (execute db root) in
-  { table; root; total_ns = Obs.Clock.since t0 }
+  let total_ns = Obs.Clock.since t0 in
+  observe ~query:src ~lookup:(db_lookup db) root total_ns
+    (Table.cardinality table);
+  { table; root; total_ns; fingerprint = fingerprint db root }
 
 let render_report r =
   Printf.sprintf "%stotal: %.3f ms, %d rows\n" (render r.root)
     (Obs.Clock.to_ms r.total_ns)
     (Table.cardinality r.table)
+
+(* Per-node misestimation: symmetric 1-smoothed ratio between estimated
+   and actual output rows (>= 1.0; 1.0 = perfect), same definition as
+   {!Obs.Planlog.misest} applies per operator. *)
+let node_misest n =
+  let actual = float_of_int (max 0 n.actual) in
+  let est = max 0. n.est in
+  (max actual est +. 1.) /. (min actual est +. 1.)
 
 let rec node_to_json n =
   Obs.Json.Obj
@@ -449,14 +703,21 @@ let rec node_to_json n =
       ("op", Obs.Json.Str (op_string n.op));
       ("est_rows", Obs.Json.Float n.est);
       ("actual_rows", Obs.Json.Int n.actual);
+      ("misest", Obs.Json.Float (node_misest n));
       ("cost", Obs.Json.Float n.cost);
+      ("actual_ms", Obs.Json.Float (Int64.to_float n.ns /. 1e6));
+      ("batches", Obs.Json.Int n.batches);
       ("children", Obs.Json.List (List.map node_to_json n.children));
     ]
 
+(* asura-explain/2 = asura-explain/1 plus the top-level "fingerprint"
+   and per-node "misest"/"actual_ms"/"batches" members; every /1 member
+   is retained unchanged (compat note in DESIGN.md §12). *)
 let to_json r =
   Obs.Json.Obj
     [
-      ("schema", Obs.Json.Str "asura-explain/1");
+      ("schema", Obs.Json.Str "asura-explain/2");
+      ("fingerprint", Obs.Json.Str r.fingerprint);
       ("rows", Obs.Json.Int (Table.cardinality r.table));
       ("total_ns", Obs.Json.Float (Int64.to_float r.total_ns));
       ("physical", Obs.Json.Str (render r.root));
@@ -468,24 +729,105 @@ let to_json r =
 (* Direct entry points for consumers that build operator chains in code
    (solver, checkers, bench) rather than through SQL: vectorized when
    the planner is on and inputs are lineage-free, reference otherwise.
-   [Batch.join_tables] double-checks lineage itself. *)
+   [Batch.join_tables] double-checks lineage itself.
+
+   Each vectorized path reports to the plan observatory through a small
+   synthetic annotated tree — scan children under the one real operator
+   — built with the same estimators annotation uses, so sys.plans shows
+   est-vs-actual for programmatic plans exactly like SQL ones.  All of
+   that is gated on {!Obs.Config.on}: an uninstrumented run pays two
+   clock reads per call and nothing else. *)
+
+(* Fingerprint scans of a synthetic tree against the input tables. *)
+let tables_lookup tables name =
+  List.find_map
+    (fun t ->
+      if String.equal (Table.name t) name then
+        Some (Schema.columns (Table.schema t))
+      else None)
+    tables
+
+let observe_tables root total_ns out tables =
+  if Obs.Config.on () then begin
+    root.actual <- Table.cardinality out;
+    root.ns <- total_ns;
+    observe ~lookup:(tables_lookup tables) root total_ns
+      (Table.cardinality out)
+  end
+
+let scan_node t st =
+  let n = node (Scan (Table.name t)) st.rows st.rows [] in
+  n.actual <- Table.cardinality t;
+  n
 
 let equi_join ~on ta tb =
-  if enabled () then Batch.join_tables ~on ta tb else Ops.equi_join ~on ta tb
+  if enabled () then begin
+    let na = Table.cardinality ta and nb = Table.cardinality tb in
+    (* same <= tie-break annotation uses, overridable for plan-gate
+       regression drills *)
+    let build_left = choose_build_side ~auto:(na <= nb) in
+    let t0 = Obs.Clock.now_ns () in
+    let out = Batch.join_tables ~build_left ~on ta tb in
+    let total = Obs.Clock.since t0 in
+    if Obs.Config.on () then begin
+      let sta = table_stats ta and stb = table_stats tb in
+      let key_sel =
+        List.fold_left
+          (fun acc (l, r) -> acc /. max (ndv_of sta l) (ndv_of stb r))
+          1. on
+      in
+      let rows = sta.rows *. stb.rows *. key_sel in
+      let ca = scan_node ta sta and cb = scan_node tb stb in
+      let root =
+        node
+          (Hash_join { on; build_left })
+          rows
+          (ca.cost +. cb.cost +. sta.rows +. stb.rows +. rows)
+          [ ca; cb ]
+      in
+      observe_tables root total out [ ta; tb ]
+    end;
+    out
+  end
+  else Ops.equi_join ~on ta tb
 
 let lineage_free t = Table.lineage t = None
 
 let select ?funcs e t =
-  if active () && lineage_free t then
-    Batch.to_table ~name:(Table.name t)
-      (Batch.select ?funcs e (Batch.of_table t))
+  if active () && lineage_free t then begin
+    let t0 = Obs.Clock.now_ns () in
+    let out =
+      Batch.to_table ~name:(Table.name t)
+        (Batch.select ?funcs e (Batch.of_table t))
+    in
+    let total = Obs.Clock.since t0 in
+    if Obs.Config.on () then begin
+      let st = table_stats t in
+      let rows = st.rows *. selectivity st (Plan.simplify_predicate e) in
+      let c = scan_node t st in
+      let root = node (Filter e) rows (c.cost +. st.rows) [ c ] in
+      observe_tables root total out [ t ]
+    end;
+    out
+  end
   else Ops.select ?funcs e t
 
 let group_count ~by t =
-  if active () && lineage_free t then
-    (* project before scanning so the stream only copies the grouping
+  if active () && lineage_free t then begin
+    let t0 = Obs.Clock.now_ns () in
+    (* project before scanning so the stream only reads the grouping
        columns, not the table's full arity *)
-    Batch.group_table ~by (Batch.of_table (Ops.project by t))
+    let out = Batch.group_table ~by (Batch.of_table (Ops.project by t)) in
+    let total = Obs.Clock.since t0 in
+    if Obs.Config.on () then begin
+      let st = table_stats t in
+      let rows = distinct_est st by in
+      let c = scan_node t st in
+      let root = node (Group by) rows (c.cost +. st.rows) [ c ] in
+      observe_tables root total out [ t ]
+    end;
+    out
+  end
   else
     Table.of_rows ~name:"<group>"
       (Schema.of_list (by @ [ "count" ]))
@@ -494,6 +836,17 @@ let group_count ~by t =
          (Ops.group_count ~by t))
 
 let distinct t =
-  if active () && lineage_free t then
-    Batch.distinct_table ~name:(Table.name t) (Batch.of_table t)
+  if active () && lineage_free t then begin
+    let t0 = Obs.Clock.now_ns () in
+    let out = Batch.distinct_table ~name:(Table.name t) (Batch.of_table t) in
+    let total = Obs.Clock.since t0 in
+    if Obs.Config.on () then begin
+      let st = table_stats t in
+      let rows = distinct_est st st.cols in
+      let c = scan_node t st in
+      let root = node Distinct rows (c.cost +. st.rows) [ c ] in
+      observe_tables root total out [ t ]
+    end;
+    out
+  end
   else Table.distinct t

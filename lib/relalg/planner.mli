@@ -23,6 +23,14 @@ val enabled : unit -> bool
 val active : unit -> bool
 (** {!enabled} and lineage tracking is off. *)
 
+val forced_build_side : unit -> bool option
+(** [ASURA_PLAN_BUILD=left|right] overrides every hash-join build-side
+    choice (read dynamically); [Some true] means build-left.  The
+    deterministic "planted plan regression" knob the plan gate drills
+    with: the structural fingerprint covers the build side, so forcing
+    the non-chosen side is exactly what [asura plan diff --strict] must
+    catch. *)
+
 type keys = (string * [ `Asc | `Desc ]) list
 
 type op =
@@ -46,6 +54,9 @@ type t = {
   est : float;  (** estimated output rows *)
   cost : float;  (** cumulative cost estimate (abstract row-touches) *)
   mutable actual : int;  (** rows observed by execution; [-1] before *)
+  mutable ns : int64;
+      (** wall time observed at this node, inclusive of children *)
+  mutable batches : int;  (** batches pulled through (streaming nodes) *)
   children : t list;
 }
 
@@ -54,13 +65,24 @@ val plan : Database.t -> Plan.t -> t
     estimates and physical choices.
     @raise Database.Unknown_table for unresolvable scans. *)
 
+val fingerprint : Database.t -> t -> string
+(** Structural plan fingerprint (16 hex chars, {!Obs.Planlog.fingerprint}
+    over canonical node strings).  Invariant under conjunct reordering
+    and column renaming (column references canonicalize to positional
+    indices); sensitive to operator shape, hash-join build side,
+    pushdown placement and top-k recognition.  Stable across processes,
+    so safe to persist in manifests and committed baselines. *)
+
 val execute : Database.t -> t -> Table.t
-(** Run the annotated plan through {!Batch}, filling [actual] fields. *)
+(** Run the annotated plan through {!Batch}, filling [actual], [ns] and
+    [batches] fields. *)
 
 val run_plan : Database.t -> Plan.t -> Table.t
-val run_query : Database.t -> Sql_ast.query -> Table.t
-(** Plan and execute; the result is named ["<query>"] like the reference
-    {!Sql_exec} path. *)
+val run_query : ?label:string -> Database.t -> Sql_ast.query -> Table.t
+(** Plan, execute, and report the execution to the plan observatory
+    ({!Obs.Planlog}) under [label] (default: the query pretty-printed);
+    the result is named ["<query>"] like the reference {!Sql_exec}
+    path. *)
 
 val render : t -> string
 (** Indented tree with [est]/[actual]/[cost] per operator ([actual=-]
@@ -70,16 +92,23 @@ val explain : Database.t -> string -> string
 (** Plan a query string and render it unexecuted — the [EXPLAIN] (no
     [--analyze]) view with cost estimates. *)
 
-type report = { table : Table.t; root : t; total_ns : int64 }
+type report = {
+  table : Table.t;
+  root : t;
+  total_ns : int64;
+  fingerprint : string;
+}
 
 val analyze : Database.t -> string -> report
 (** Plan, execute, and time a query string: [EXPLAIN --analyze] with
-    estimated vs. actual rows per operator. *)
+    estimated vs. actual rows per operator.  Also records the execution
+    to the plan observatory under the query text. *)
 
 val render_report : report -> string
 val to_json : report -> Obs.Json.t
-(** [asura-explain/1]-schema document (planner nodes carry
-    [est_rows]/[actual_rows]/[cost]). *)
+(** [asura-explain/2]-schema document: every [asura-explain/1] member
+    unchanged, plus the top-level ["fingerprint"] and per-node
+    ["misest"]/["actual_ms"]/["batches"]. *)
 
 (** {2 Programmatic operators}
 

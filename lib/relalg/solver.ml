@@ -232,6 +232,12 @@ let generate_vectorized ?funcs s =
   let evaluations = ref 0 and candidates = ref 0 in
   let per_column = ref [] in
   let pruning = ref [] in
+  (* plan-observatory accounting: one "extend" op per column, recorded
+     as a single solver.generate plan after the fold (spawning domain
+     only; workers never touch obs) *)
+  let t_gen = Obs.Clock.now_ns () in
+  let plan_ops = ref [] in
+  let plan_cost = ref 0. in
   let pending =
     ref
       (List.map
@@ -248,6 +254,7 @@ let generate_vectorized ?funcs s =
       ~args:[ "column", Obs.Json.Str col.cname ]
       "solver.extend"
     @@ fun () ->
+    let t_step = Obs.Clock.now_ns () in
     let candidates_before = !candidates in
     Hashtbl.add bound col.cname ();
     let schema' = Schema.append schema [ col.cname ] in
@@ -333,6 +340,28 @@ let generate_vectorized ?funcs s =
     Obs.Metrics.add
       (obs_counter (Printf.sprintf "pruned.%s.%s" s.sname col.cname))
       (considered - kept);
+    if Obs.Config.on () then begin
+      let considered_f = float_of_int considered in
+      (* uninformed textbook half per newly-ready constraint — the same
+         default the planner uses for registered functions; the misest
+         column of sys.plans shows how far off that is per column *)
+      let est_rows =
+        considered_f *. (0.5 ** float_of_int (List.length checks))
+      in
+      plan_cost := !plan_cost +. considered_f;
+      plan_ops :=
+        {
+          Obs.Planlog.op =
+            Printf.sprintf "extend %s (domain=%d, checks=%d)" col.cname d
+              (List.length checks);
+          est_rows;
+          est_cost = !plan_cost;
+          actual_rows = kept;
+          actual_ns = Int64.to_float (Obs.Clock.since t_step);
+          batches = Array.length parts;
+        }
+        :: !plan_ops
+    end;
     ( schema',
       Array.init (arity + 1) (fun j -> (dicts.(j), out_cols.(j))),
       kept )
@@ -343,6 +372,20 @@ let generate_vectorized ?funcs s =
   Obs.Metrics.add (obs_counter "candidates") !candidates;
   Obs.Metrics.add (obs_counter "evaluations") !evaluations;
   Obs.Metrics.add (obs_counter "rows_generated") nrows;
+  (if Obs.Config.on () then
+     let ops = List.rev !plan_ops in
+     (* structural fingerprint: table, column order, domain sizes and
+        per-column constraint counts — the extension "plan" the column
+        ordering heuristic chose *)
+     let fingerprint =
+       Obs.Planlog.fingerprint
+         ("solver-generate" :: s.sname
+         :: List.map (fun (o : Obs.Planlog.op) -> o.op) ops)
+     in
+     Obs.Planlog.record ~site:"solver.generate" ~fingerprint
+       ~query:("generate " ^ s.sname) ~est_cost:!plan_cost
+       ~total_ns:(Int64.to_float (Obs.Clock.since t_gen))
+       ~rows_out:nrows ops);
   let table = Table.of_columns ~name:s.sname schema ~nrows cols in
   Obs.Metrics.add (obs_counter "storage_bytes") (Table.storage_bytes table);
   ( table,

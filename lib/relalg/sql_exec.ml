@@ -72,8 +72,11 @@ let rec referenced_tables (q : Sql_ast.query) =
    vectorized engine when it is active and no referenced table carries
    lineage (provenance must flow through the reference operators).
    Unknown tables are reported with the reference path's error message
-   either way. *)
-let run_query db (q : Sql_ast.query) =
+   either way.  Planner executions land in the plan observatory under
+   [label] (the SQL text when coming through {!query}); the "sql" site
+   applies only when no more specific call-site label (invariant id,
+   solver phase) is already active. *)
+let run_query ?label db (q : Sql_ast.query) =
   let tables =
     List.map
       (fun name ->
@@ -85,7 +88,11 @@ let run_query db (q : Sql_ast.query) =
   if
     Planner.active ()
     && List.for_all (fun t -> Table.lineage t = None) tables
-  then Planner.run_query db q
+  then
+    let run () = Planner.run_query ?label db q in
+    match Obs.Planlog.site () with
+    | None -> Obs.Planlog.with_site "sql" run
+    | Some _ -> run ()
   else run_query_reference db q
 
 (* sys.* tables are engine-materialized snapshots: readable like any
@@ -120,7 +127,7 @@ let query db src =
     ~args:[ "query", Obs.Json.Str src ]
     "sql.query"
   @@ fun () ->
-  let result = run_query db (Sql_parser.parse_query src) in
+  let result = run_query ~label:src db (Sql_parser.parse_query src) in
   Obs.Metrics.incr (obs_counter "queries");
   Obs.Metrics.add (obs_counter "rows_returned") (Table.cardinality result);
   result

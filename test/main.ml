@@ -28,4 +28,5 @@ let () =
       "transaction-walkthroughs", Test_walkthrough.suite;
       "coverage-and-manifests", Test_coverage.suite;
       "system-tables", Test_systables.suite;
+      "plan-observatory", Test_plans.suite;
     ]
