@@ -114,6 +114,16 @@ let engine_degree_benchmarks =
   [
     mcheck_engine_test ~name:"mcheck-2node-level" `Level;
     mcheck_engine_test ~name:"mcheck-2node-steal" `Steal;
+    (* the flight-recorder overhead control: the same steal-engine search
+       with event recording compiled in but switched off, so the
+       recorder-on-vs-off pair prices the always-on default.  The CI gate
+       holds the on/off ratio at <= 1.05x. *)
+    Test.make ~name:"mcheck-2node-steal-recoff"
+      (Staged.stage (fun () ->
+           Obs.Flightrec.with_disabled (fun () ->
+               ignore
+                 (Mcheck.Explore.run ~max_states:5_000 ~engine:`Steal
+                    ~tables:(Lazy.force mcheck_tables) mcheck_engine_cfg))));
   ]
 
 (* (pair name, reference measurement, candidate measurement, domains the
@@ -122,6 +132,10 @@ let engine_pair_specs ~domains =
   [
     "mcheck-pack-vs-boxed", "mcheck-2node-boxed", "mcheck-2node-packed", 1;
     "mcheck-steal-vs-level", "mcheck-2node-level", "mcheck-2node-steal", domains;
+    (* reference = recording off, candidate = recording on: speedup is
+       off/on, so the <= 1.05x overhead budget reads as speedup >= 0.952 *)
+    ( "mcheck-recorder-on-vs-off", "mcheck-2node-steal-recoff",
+      "mcheck-2node-steal", domains );
   ]
 
 (* --- columnar vs list-of-rows representation ------------------------
@@ -239,6 +253,29 @@ let rep_benchmarks =
 let paired_names =
   [ "generate-D-incremental"; "deadlock-V-vc4"; "mcheck-3node-symmetry" ]
 
+(* --only SUBSTR: restrict every suite to benchmarks whose name contains
+   SUBSTR, so one pair (say the recorder overhead gate) can be
+   re-measured in seconds instead of re-running the whole suite.  The
+   JSON snapshot then carries only the selected measurements. *)
+let only =
+  let argv = Sys.argv in
+  let o = ref None in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--only" && i + 1 < Array.length argv then o := Some argv.(i + 1))
+    argv;
+  !o
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let keep test =
+  match only with
+  | None -> true
+  | Some sub -> contains ~sub (Test.name test)
+
 let ols_estimate ~name benchmark analyzed =
   (* Refuse to report a regression slope fitted to fewer than two
      samples — that is not an estimate, it is noise — rather than let a
@@ -290,7 +327,7 @@ let run_benchmarks ~domains () =
      measurements several-fold if they run after. *)
   List.concat_map
     (fun test -> run_one ~domains test)
-    (rep_benchmarks @ benchmarks @ engine_baseline_benchmarks)
+    (List.filter keep (rep_benchmarks @ benchmarks @ engine_baseline_benchmarks))
 
 (* Seq/par A-B runs: re-measure each parallelized benchmark at the
    requested degree under a "-par" name; the baseline suite above
@@ -305,7 +342,7 @@ let run_pairs ~domains () =
           (fun (name, ns) -> name ^ "-par", ns)
           (run_one ~domains test))
       (List.filter
-         (fun test -> List.mem (Test.name test) paired_names)
+         (fun test -> keep test && List.mem (Test.name test) paired_names)
          benchmarks)
   end
 
@@ -318,7 +355,7 @@ let run_engine_pairs ~domains () =
     Printf.printf "\n=== exploration engines (--domains %d) ===\n%!" domains;
     List.concat_map
       (fun test -> run_one ~domains test)
-      engine_degree_benchmarks
+      (List.filter keep engine_degree_benchmarks)
   end
 
 let git_rev () =

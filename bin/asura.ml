@@ -40,9 +40,13 @@ let obs_setup level trace_file stats domains log_file progress manifest =
   | None -> ()
   | Some dir ->
       (* Manifests embed the coverage summary and a metrics snapshot, so
-         arm both collectors. *)
+         arm both collectors.  They also embed the flight-recorder drain,
+         and an interrupted run is exactly when that evidence matters —
+         turn SIGINT/SIGTERM into orderly exits so the at_exit write
+         below still happens. *)
       Obs.Coverage.enable ();
       Obs.Config.enable ();
+      Obs.Flightrec.arm_signal_drain ();
       let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "run" in
       Obs.Runlog.configure ~dir ~cmd ~argv:Sys.argv;
       Obs.Runlog.note "domains" (Obs.Json.Int (Par.Pool.domains ()));
@@ -292,6 +296,48 @@ let deadlock_cmd =
 
 (* -------------------------------- why -------------------------------- *)
 
+(* Populate the live rings with the paper's Figure-4 drama: replay the
+   scenario through the queue-accurate simulator, whose deliveries go
+   through the same instrumented Semantics.eval the model checker uses —
+   every wb/readex rule firing lands in the recorder with its controller
+   table and row.  The simulator has no stop bookkeeping of its own, so
+   the CLI stamps the terminal deadlock/stop event, mirroring what
+   Mcheck.Explore.finish records. *)
+let exercise_events_figure4 assignment =
+  let result, _trace = Sim.Scenario.figure4 assignment in
+  (match result with
+  | Sim.Runner.Deadlock _ ->
+      Obs.Flightrec.record ~tag:Obs.Flightrec.tag_deadlock ();
+      Obs.Flightrec.record ~tag:Obs.Flightrec.tag_stop
+        ~a:Obs.Flightrec.stop_violation ()
+  | _ ->
+      Obs.Flightrec.record ~tag:Obs.Flightrec.tag_stop
+        ~a:Obs.Flightrec.stop_complete ());
+  result
+
+(* Render the last [n] events as a relation: attach sys.events and let
+   the SQL front end do the windowing, so `asura events tail` is the
+   same query a user could type. *)
+let print_events_tail n docs =
+  let total = List.length docs in
+  let db =
+    Relalg.Database.replace_system Relalg.Database.empty
+      (Systables.events_of docs)
+  in
+  let sql =
+    Printf.sprintf
+      "SELECT seq, t_us, dom, tag, a, b, c, table_name, detail FROM \
+       sys.events WHERE seq >= %d ORDER BY seq"
+      (max 0 (total - n))
+  in
+  Printf.printf "-- %s\n" sql;
+  print_string (Relalg.Table.to_string (Relalg.Sql_exec.query db sql));
+  if total > n then
+    Printf.printf "(%d earlier events not shown; %d recorded in total)\n"
+      (total - n) total
+
+let live_event_docs () = Obs.Flightrec.of_json (Obs.Flightrec.to_json ())
+
 let why_cmd =
   let what =
     Arg.(
@@ -327,12 +373,27 @@ let why_cmd =
              a witnessing dependency and its controller-row origin) in \
              Graphviz format instead of the narrative.")
   in
-  let run () what inv_id assignment dot =
+  let events =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:
+            "After the narrative, replay the Figure-4 scenario under the \
+             same assignment through the simulator and print the \
+             flight-recorder tail — the last rule firings, decoded to \
+             their controller rows, before the channels wedge.")
+  in
+  let run () what inv_id assignment dot events =
     match what with
     | `Deadlock ->
         let r = Checker.Deadlock.analyze assignment in
         if dot then print_string (Checker.Why.deadlock_dot r)
         else print_string (Checker.Why.deadlock r);
+        if events then begin
+          ignore (exercise_events_figure4 assignment);
+          print_string "\n## Flight recorder (last events before the wedge)\n";
+          print_events_tail 40 (live_event_docs ())
+        end;
         if not (Checker.Deadlock.is_deadlock_free r) then exit 1
     | `Invariant -> (
         match inv_id with
@@ -360,7 +421,7 @@ let why_cmd =
           Figure 4 narrative, reconstructed automatically), or decode an \
           invariant violation back to the base-table rows it was derived \
           from.")
-    Term.(const run $ setup_term $ what $ inv_id $ assignment $ dot)
+    Term.(const run $ setup_term $ what $ inv_id $ assignment $ dot $ events)
 
 (* ------------------------------- map --------------------------------- *)
 
@@ -737,6 +798,178 @@ let top_cmd =
           least-covered controller tables, bench speedup regressions — \
           each implemented as plain SQL over the sys. system tables.")
     Term.(const run $ setup_term $ runs_arg $ only $ max_states)
+
+(* ------------------------------- events ------------------------------- *)
+
+let manifest_event_docs dir =
+  let agg, skipped = Obs.Runreport.collect (load_run_docs dir) in
+  warn_skipped skipped;
+  (Obs.Runreport.events agg, Obs.Runreport.events_dropped agg)
+
+let events_tail_cmd =
+  let n =
+    Arg.(
+      value & opt int 40
+      & info [ "n"; "last" ] ~docv:"K"
+          ~doc:"How many trailing events to show.")
+  in
+  let assignment =
+    Arg.(
+      value
+      & opt assignment_or_csv_conv Checker.Vcassign.with_vc4
+      & info [ "vc" ] ~docv:"ASSIGNMENT"
+          ~doc:
+            "Virtual-channel assignment for the live Figure-4 replay: \
+             $(b,initial), $(b,vc4) (default: the paper's deadlock), \
+             $(b,debugged), or a CSV file.")
+  in
+  let run () n runs assignment =
+    let docs =
+      match runs with
+      | Some dir -> fst (manifest_event_docs dir)
+      | None ->
+          ignore (exercise_events_figure4 assignment);
+          live_event_docs ()
+    in
+    if docs = [] then print_endline "(no events recorded)"
+    else print_events_tail n docs
+  in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Show the last K flight-recorder events before the run stopped — \
+          by default the live replay of the paper's Figure-4 VC4 deadlock, \
+          whose final window is the wb/readex interleaving that wedges the \
+          channels, each firing decoded to its controller row.  With \
+          $(b,--runs), the trailing window of the events persisted in run \
+          manifests.")
+    Term.(const run $ setup_term $ n $ runs_arg $ assignment)
+
+let events_canned_keys = [ "hottest-rules"; "steals-by-domain"; "dedup-by-depth" ]
+
+let events_top_cmd =
+  let max_states =
+    Arg.(
+      value & opt int 5_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "State budget of the model-checking run used to exercise the \
+             recorder.")
+  in
+  let run () runs max_states =
+    let db =
+      match runs with
+      | Some dir ->
+          let db, skipped =
+            Systables.attach_docs (load_run_docs dir) (Protocol.database ())
+          in
+          warn_skipped skipped;
+          db
+      | None ->
+          (* a small exploration fills the rings: fires and dedup from
+             any engine, steals when domains > 1 pick the stealing core
+             (explicit `Steal keeps the requested degree even when the
+             hardware offers fewer cores, unlike `Auto) *)
+          let engine =
+            if Par.Pool.domains () > 1 then `Steal else `Auto
+          in
+          ignore
+            (Mcheck.Explore.run ~max_states ~engine
+               {
+                 Mcheck.Semantics.nodes = 2;
+                 addrs = 1;
+                 ops = [ "load"; "store" ];
+                 capacity = 3;
+                 io_addrs = [];
+                 lossy = false;
+               });
+          Systables.attach_live (Protocol.database ())
+    in
+    List.iter
+      (fun key ->
+        match
+          List.find_opt (fun c -> c.Systables.key = key) Systables.canned
+        with
+        | None -> ()
+        | Some c ->
+            Printf.printf "## %s [%s]\n" c.Systables.title c.Systables.key;
+            Printf.printf "-- %s\n" c.Systables.sql;
+            print_string
+              (Relalg.Table.to_string
+                 (Relalg.Sql_exec.query db c.Systables.sql));
+            print_newline ())
+      events_canned_keys
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Answer the flight-recorder canned queries — hottest rules by \
+          recorded firings, per-domain steal counts, dedup hits vs inserts \
+          by depth — as plain SQL over $(b,sys.events).")
+    Term.(const run $ setup_term $ runs_arg $ max_states)
+
+let events_dump_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the asura-events/1 JSON document (the only format; the \
+             flag exists for symmetry with other subcommands).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the document to this file instead of standard output.")
+  in
+  let assignment =
+    Arg.(
+      value
+      & opt assignment_or_csv_conv Checker.Vcassign.with_vc4
+      & info [ "vc" ] ~docv:"ASSIGNMENT"
+          ~doc:"Assignment for the live Figure-4 replay (as in tail).")
+  in
+  let run () _json output runs assignment =
+    let doc =
+      match runs with
+      | Some dir ->
+          let docs, dropped = manifest_event_docs dir in
+          Obs.Flightrec.docs_to_json ~dropped docs
+      | None ->
+          ignore (exercise_events_figure4 assignment);
+          Obs.Flightrec.to_json ()
+    in
+    let text = Obs.Json.to_string doc ^ "\n" in
+    match output with
+    | None -> print_string text
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc text);
+        Printf.printf "wrote %d events to %s\n"
+          (List.length (Obs.Flightrec.of_json doc))
+          file
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Dump the flight recording as an asura-events/1 JSON document — \
+          the live Figure-4 replay by default, or the concatenation of the \
+          events embedded in run manifests with $(b,--runs).")
+    Term.(const run $ setup_term $ json $ output $ runs_arg $ assignment)
+
+let events_cmd =
+  Cmd.group
+    (Cmd.info "events"
+       ~doc:
+         "The exploration flight recorder: always-on per-domain rings of \
+          packed events (rule firings, dedup, steals, visited-set growth, \
+          solver steps) drained on violation, deadlock, signal or exit, \
+          and queryable as the $(b,sys.events) system table.")
+    [ events_tail_cmd; events_top_cmd; events_dump_cmd ]
 
 (* ------------------------------ export ------------------------------- *)
 
@@ -1277,4 +1510,5 @@ let () =
             generate_cmd; invariants_cmd; deadlock_cmd; why_cmd; map_cmd;
             simulate_cmd; mcheck_cmd; sql_cmd; top_cmd; review_cmd;
             report_cmd; explain_cmd; export_cmd; stats_cmd; plan_cmd;
+            events_cmd;
           ]))

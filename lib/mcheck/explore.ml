@@ -90,6 +90,7 @@ let expand_state sr ~frontier ~depth =
   (* sample the frontier sparsely so tracing stays cheap *)
   if sr.s_explored land 1023 = 0 then
     Obs.Trace.counter "mcheck.frontier" [ "queued", float_of_int frontier ];
+  Obs.Flightrec.record ~tag:Obs.Flightrec.tag_expand ~a:depth ~b:frontier ();
   sr.s_explored <- sr.s_explored + 1;
   Hashtbl.replace sr.s_per_depth depth
     (1 + Option.value (Hashtbl.find_opt sr.s_per_depth depth) ~default:0);
@@ -130,8 +131,30 @@ let heartbeat sr ~max_states ~frontier =
   heartbeat_vals ~t0:sr.t0 ~max_states ~explored:sr.s_explored ~frontier
     ~max_depth:sr.s_max_depth
 
+let violation_code = function
+  | `Coherence -> 0
+  | `Stale_data -> 1
+  | `Unhandled -> 2
+  | `Deadlock -> 3
+
 let finish sr ~states ~engine ~probabilistic violation complete =
   let elapsed = Sys.time () -. sr.t0 in
+  (* the stop reason closes the flight recording, so a drain's tail
+     explains *why* the engine stopped right after *what* it was doing *)
+  (match violation with
+  | Some v ->
+      let tag =
+        if v.kind = `Deadlock then Obs.Flightrec.tag_deadlock
+        else Obs.Flightrec.tag_violation
+      in
+      Obs.Flightrec.record ~tag ~a:(violation_code v.kind) ~b:sr.s_max_depth ()
+  | None -> ());
+  Obs.Flightrec.record ~tag:Obs.Flightrec.tag_stop
+    ~a:
+      (if violation <> None then Obs.Flightrec.stop_violation
+       else if complete then Obs.Flightrec.stop_complete
+       else Obs.Flightrec.stop_budget)
+    ~b:sr.s_explored ();
   let reg = Lazy.force obs_reg in
   Obs.Metrics.add (Obs.Metrics.counter reg "states_explored") sr.s_explored;
   Obs.Metrics.add (Obs.Metrics.counter reg "transitions") sr.s_transitions;
@@ -244,9 +267,14 @@ let run_seq ?(engine = "seq") ~max_states ~keep_states ~state_key ~tables
                    })
           | Semantics.Next st' ->
               let key' = state_key st' in
-              if Hashtbl.mem visited key' then
-                sr.s_dedup_hits <- sr.s_dedup_hits + 1
+              if Hashtbl.mem visited key' then begin
+                sr.s_dedup_hits <- sr.s_dedup_hits + 1;
+                Obs.Flightrec.record ~tag:Obs.Flightrec.tag_dedup
+                  ~a:(depth + 1) ~b:1 ()
+              end
               else begin
+                Obs.Flightrec.record ~tag:Obs.Flightrec.tag_dedup
+                  ~a:(depth + 1) ~b:0 ();
                 Hashtbl.add visited key' ();
                 Hashtbl.add parent key' (key, label);
                 Queue.add (st', key', depth + 1) queue
@@ -342,9 +370,14 @@ let run_par ~max_states ~keep_states ~state_key ~tables config =
                          trace = trace_to key @ [ label ];
                        })
               | Semantics.Next st' ->
-                  if Sharded.mem visited key' then
-                    sr.s_dedup_hits <- sr.s_dedup_hits + 1
+                  if Sharded.mem visited key' then begin
+                    sr.s_dedup_hits <- sr.s_dedup_hits + 1;
+                    Obs.Flightrec.record ~tag:Obs.Flightrec.tag_dedup
+                      ~a:(!depth + 1) ~b:1 ()
+                  end
                   else begin
+                    Obs.Flightrec.record ~tag:Obs.Flightrec.tag_dedup
+                      ~a:(!depth + 1) ~b:0 ();
                     Sharded.add visited key';
                     Hashtbl.add parent key' (key, label);
                     next := (st', key') :: !next;
@@ -520,6 +553,8 @@ let run_steal ?workers ~engine ~max_states ~keep_states ~state_key ~symmetry
         end
         else begin
           acc.sa_explored <- acc.sa_explored + 1;
+          Obs.Flightrec.record ~tag:Obs.Flightrec.tag_expand ~a:depth
+            ~b:(Atomic.get inflight) ();
           Hashtbl.replace acc.sa_per_depth depth
             (1 + Option.value (Hashtbl.find_opt acc.sa_per_depth depth) ~default:0);
           if depth > acc.sa_max_depth then acc.sa_max_depth <- depth;
@@ -557,15 +592,26 @@ let run_steal ?workers ~engine ~max_states ~keep_states ~state_key ~symmetry
                         ctl.Par.Pool.stop ()
                     | Semantics.Next st' -> (
                         match dedup_key st' with
-                        | None -> acc.sa_dedup <- acc.sa_dedup + 1
+                        | None ->
+                            acc.sa_dedup <- acc.sa_dedup + 1;
+                            Obs.Flightrec.record ~tag:Obs.Flightrec.tag_dedup
+                              ~a:(depth + 1) ~b:1 ()
                         | Some k ->
                             if Pack.Vset.add visited k then begin
+                              Obs.Flightrec.record
+                                ~tag:Obs.Flightrec.tag_dedup ~a:(depth + 1)
+                                ~b:0 ();
                               let n = Atomic.fetch_and_add inflight 1 + 1 in
                               if n > Atomic.get maxfront then
                                 Atomic.set maxfront n;
                               ctl.Par.Pool.push (st', depth + 1)
                             end
-                            else acc.sa_dedup <- acc.sa_dedup + 1))
+                            else begin
+                              acc.sa_dedup <- acc.sa_dedup + 1;
+                              Obs.Flightrec.record
+                                ~tag:Obs.Flightrec.tag_dedup ~a:(depth + 1)
+                                ~b:1 ()
+                            end))
                   succs
         end)
       [ initial, 0 ]

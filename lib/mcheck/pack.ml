@@ -548,7 +548,8 @@ module Vset = struct
   (* [add t v] inserts and reports whether [v] was new. *)
   let add t v =
     let h = hash v in
-    let s = t.shards.(h land (shard_count - 1)) in
+    let si = h land (shard_count - 1) in
+    let s = t.shards.(si) in
     Mutex.lock s.lock;
     let inserted =
       match t.compact with
@@ -558,7 +559,12 @@ module Vset = struct
             if Array.length k = 0 then begin
               s.keys.(i) <- v;
               s.count <- s.count + 1;
-              if 2 * s.count >= Array.length s.keys then grow_exact s;
+              if 2 * s.count >= Array.length s.keys then begin
+                grow_exact s;
+                (* shard pressure: the open-addressing table doubled *)
+                Obs.Flightrec.record ~tag:Obs.Flightrec.tag_compact ~a:si
+                  ~b:(Array.length s.keys) ()
+              end;
               true
             end
             else if equal k v then false
@@ -571,7 +577,11 @@ module Vset = struct
             if s.fps.(i) = 0 then begin
               s.fps.(i) <- fp;
               s.count <- s.count + 1;
-              if 2 * s.count >= Array.length s.fps then grow_compact s;
+              if 2 * s.count >= Array.length s.fps then begin
+                grow_compact s;
+                Obs.Flightrec.record ~tag:Obs.Flightrec.tag_compact ~a:si
+                  ~b:(Array.length s.fps) ()
+              end;
               true
             end
             else if s.fps.(i) = fp then false

@@ -225,6 +225,10 @@ let eval rs binding =
   | None -> None
   | Some r ->
       Obs.Coverage.record ~id:rs.cov ~row:r.Mapping.Codegen.row;
+      (* same (table id, row) attribution as coverage, so flight-recorded
+         firings decode through the identical registry *)
+      Obs.Flightrec.record ~tag:Obs.Flightrec.tag_fire ~a:rs.cov
+        ~b:r.Mapping.Codegen.row ();
       Some r.Mapping.Codegen.action
 let bit n = 1 lsl n
 let data_bearing m =

@@ -56,6 +56,12 @@ let register ~id ~name ~rows =
       if not (Hashtbl.mem tables id) then
         Hashtbl.add tables id { t_name = name; t_rows = rows })
 
+let lookup ~id =
+  locked (fun () ->
+      Option.map
+        (fun t -> (t.t_name, t.t_rows))
+        (Hashtbl.find_opt tables id))
+
 let bytes_for rows = (rows + 7) / 8
 
 let set_bit b row =

@@ -29,6 +29,11 @@ val record : id:int -> row:int -> unit
 (** Mark row [row] of the table registered under [id] as fired.  Safe
     from any domain; a single branch when coverage is off. *)
 
+val lookup : id:int -> (string * int) option
+(** The (name, rows) a runtime id was registered under — how consumers
+    that persist events keyed by table id ({!Flightrec}) translate the
+    process-local id into a stable name. *)
+
 (** {2 Snapshots} *)
 
 type table_coverage = {

@@ -110,6 +110,9 @@ let manifest () =
            diff` can aggregate planner decisions across runs; stays an
            additive asura-run/1 field *)
         ("plans", Planlog.to_json ());
+        (* the flight recorder's ring drain — the last few thousand
+           events per domain before this exit, whatever its reason *)
+        ("events", Flightrec.to_json ());
       ])
 
 let ensure_dir dir =

@@ -191,6 +191,52 @@ let plans agg =
     (List.map (fun (_, doc) -> Planlog.of_json doc) agg.runs
     @ List.map (fun (_, doc) -> Planlog.of_json doc) agg.plan_docs)
 
+(* ----------------------------- flight recorder ------------------------ *)
+
+(* Run manifests embed their ring drain under "events"; Flightrec.of_json
+   understands both the embedded member and a standalone asura-events/1
+   document (asura events dump --json), so the report and sys.events
+   aggregate the same inputs by construction. *)
+let events agg =
+  List.concat_map (fun (_, doc) -> Flightrec.of_json doc) agg.runs
+
+let events_dropped agg =
+  List.fold_left (fun n (_, doc) -> n + Flightrec.doc_dropped doc) 0 agg.runs
+
+(* Order-free rollups over persisted events, shared by the markdown and
+   JSON renderers.  Rule firings are keyed by (table, row) — the same
+   attribution coverage uses — steals by (thief, victim). *)
+let event_tag_counts evs =
+  List.sort compare
+    (List.fold_left
+       (fun acc (e : Flightrec.doc_event) ->
+         let n = Option.value ~default:0 (List.assoc_opt e.d_tag acc) in
+         (e.d_tag, n + 1) :: List.remove_assoc e.d_tag acc)
+       [] evs)
+
+let event_fire_counts evs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Flightrec.doc_event) ->
+      if e.d_tag = "fire" then begin
+        let key = (Option.value ~default:"?" e.d_table, e.d_b) in
+        Hashtbl.replace tbl key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      end)
+    evs;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (ka, na) (kb, nb) -> compare (-na, ka) (-nb, kb))
+
+let event_steal_counts evs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Flightrec.doc_event) ->
+      if e.d_tag = "steal" then
+        Hashtbl.replace tbl e.d_a
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.d_a)))
+    evs;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] |> List.sort compare
+
 (* ------------------------------ bench diff ---------------------------- *)
 
 let bench_measurements doc =
@@ -405,6 +451,35 @@ let render_markdown ?(decode : decode option) ?(max_uncovered = 10)
         pr "| … %d more | | | | | | |\n"
           (List.length worst_first - max_uncovered);
       pr "\n");
+  (match events agg with
+  | [] -> ()
+  | evs ->
+      pr "## Flight recorder\n\n";
+      pr "%d events drained (%d overwritten by ring wrap-around).\n\n"
+        (List.length evs) (events_dropped agg);
+      pr "| event | count |\n|---|---:|\n";
+      List.iter
+        (fun (tag, n) -> pr "| %s | %d |\n" (md_escape tag) n)
+        (event_tag_counts evs);
+      pr "\n";
+      (match event_fire_counts evs with
+      | [] -> ()
+      | fires ->
+          pr "### Hottest rules\n\n";
+          pr "| controller table | row | firings |\n|---|---:|---:|\n";
+          List.iteri
+            (fun i ((table, row), n) ->
+              if i < max_uncovered then
+                pr "| %s | %d | %d |\n" (md_escape table) row n)
+            fires;
+          pr "\n");
+      match event_steal_counts evs with
+      | [] -> ()
+      | steals ->
+          pr "### Steals by domain\n\n";
+          pr "| domain | steals |\n|---:|---:|\n";
+          List.iter (fun (dom, n) -> pr "| %d | %d |\n" dom n) steals;
+          pr "\n");
   List.iter
     (fun (label, _) -> pr "_Validated %s (asura-stats/1)._\n" (md_escape label))
     agg.stats;
@@ -592,4 +667,38 @@ let to_json ?(decode : decode option) ?(skipped = []) agg =
       (* same aggregation the systables layer materializes as sys.plans,
          so CI can assert parity between the SQL path and the report *)
       ("plans", Planlog.entries_to_json (plans agg));
+      (* and the same rollups sys.events canned queries compute, for the
+         flight-recorder parity assert *)
+      ( "events",
+        let evs = events agg in
+        Json.Obj
+          [
+            ("count", Json.Int (List.length evs));
+            ("dropped", Json.Int (events_dropped agg));
+            ( "by_tag",
+              Json.Obj
+                (List.map
+                   (fun (tag, n) -> (tag, Json.Int n))
+                   (event_tag_counts evs)) );
+            ( "top_rules",
+              Json.List
+                (List.filteri
+                   (fun i _ -> i < 10)
+                   (List.map
+                      (fun ((table, row), n) ->
+                        Json.Obj
+                          [
+                            ("table", Json.Str table);
+                            ("row", Json.Int row);
+                            ("firings", Json.Int n);
+                          ])
+                      (event_fire_counts evs))) );
+            ( "steals",
+              Json.List
+                (List.map
+                   (fun (dom, n) ->
+                     Json.Obj
+                       [ ("domain", Json.Int dom); ("steals", Json.Int n) ])
+                   (event_steal_counts evs)) );
+          ] );
     ]

@@ -57,6 +57,26 @@ val plans : t -> Planlog.entry list
     {!Planlog.aggregate} — the same aggregation the systables layer
     materializes as [sys.plans]. *)
 
+val events : t -> Flightrec.doc_event list
+(** Flight-recorder events concatenated across every run manifest's
+    embedded ["events"] member ({!Flightrec.of_json}) — the same rows
+    the systables layer materializes as [sys.events] from manifests. *)
+
+val events_dropped : t -> int
+(** Records lost to ring wrap-around, summed over the manifests. *)
+
+val event_tag_counts : Flightrec.doc_event list -> (string * int) list
+(** [(tag, count)] sorted by tag — an order-free projection. *)
+
+val event_fire_counts :
+  Flightrec.doc_event list -> ((string * int) * int) list
+(** [((table, row), firings)] sorted hottest-first — per-rule firing
+    counts keyed exactly like transition coverage. *)
+
+val event_steal_counts : Flightrec.doc_event list -> (int * int) list
+(** [(thief domain, steals)] sorted by domain — the work-stealing
+    imbalance evidence (scheduling-dependent, not a determinism view). *)
+
 type decode = table:string -> rows:int -> row:int -> string option
 (** Decode row [row] of table [table] to a readable transition; [rows]
     is the row count the coverage bitmap was recorded against, so the

@@ -23,6 +23,7 @@ let table_names =
     "sys.bench";
     "sys.plans";
     "sys.plan_ops";
+    "sys.events";
   ]
 
 (* A query "mentions" the sys namespace when some identifier-shaped
@@ -419,6 +420,52 @@ let plan_ops_of entries =
               e.e_ops))
        entries)
 
+(* ----------------------------- sys.events ----------------------------- *)
+
+(* The flight recorder's ring drain as a relation: one row per surviving
+   event, in merge (timestamp) order, with fire events decoded back to
+   readable transitions through the same protocol-layer row decoder
+   sys.coverage uses.  Both the live and the manifest-backed variants
+   are built from the SAME persisted shape ({!Obs.Flightrec.doc_event}):
+   the live path round-trips through Flightrec.to_json/of_json, so
+   `asura events` on a manifest and on a live run agree by
+   construction. *)
+let events_schema =
+  Schema.of_list
+    [ "seq"; "t_us"; "dom"; "tag"; "a"; "b"; "c"; "table_name"; "detail" ]
+
+let event_detail (e : Obs.Flightrec.doc_event) =
+  match e.d_tag, e.d_table with
+  | "fire", Some table -> (
+      match Protocol.find table with
+      | None -> Value.Null
+      | Some c ->
+          let spec = c.Protocol.spec in
+          let t = Protocol.Ctrl_spec.table spec in
+          describe ~table ~rows:(Table.cardinality t) ~row:e.d_b)
+  | "stop", _ -> Value.Str (Obs.Flightrec.stop_name e.d_a)
+  | _ -> Value.Null
+
+let events_of (evs : Obs.Flightrec.doc_event list) =
+  Table.of_rows ~name:"sys.events" events_schema
+    (List.mapi
+       (fun seq (e : Obs.Flightrec.doc_event) ->
+         [|
+           Value.Int seq;
+           Value.Float e.d_t_us;
+           Value.Int e.d_dom;
+           Value.Str e.d_tag;
+           Value.Int e.d_a;
+           Value.Int e.d_b;
+           Value.Int e.d_c;
+           (match e.d_table with Some t -> Value.Str t | None -> Value.Null);
+           event_detail e;
+         |])
+       evs)
+
+let live_events () = Obs.Flightrec.of_json (Obs.Flightrec.to_json ())
+let events () = events_of (live_events ())
+
 (* ------------------------------- attach ------------------------------- *)
 
 let put db t = Database.replace_system db t
@@ -433,7 +480,8 @@ let attach_live db =
   let db = put db (coverage ()) in
   let plan_entries = Obs.Planlog.snapshot () in
   let db = put db (plans_of plan_entries) in
-  put db (plan_ops_of plan_entries)
+  let db = put db (plan_ops_of plan_entries) in
+  put db (events ())
 
 (* Manifest-backed snapshot: sys.coverage is built from the SAME
    Runreport aggregation (bitmaps ORed per (table, rows)) that asura
@@ -451,6 +499,9 @@ let attach_docs docs db =
   let plan_entries = Obs.Runreport.plans agg in
   let db = put db (plans_of plan_entries) in
   let db = put db (plan_ops_of plan_entries) in
+  (* likewise: the same event concatenation asura report aggregates
+     under its "events" member *)
+  let db = put db (events_of (Obs.Runreport.events agg)) in
   (db, skipped)
 
 (* ---------------------------- canned queries -------------------------- *)
@@ -511,6 +562,30 @@ let canned =
         "SELECT kind, name, speedup, baseline_ns, measured_ns FROM sys.bench \
          WHERE regression ORDER BY speedup LIMIT 20";
       live = false;
+    };
+    {
+      key = "hottest-rules";
+      title = "Hottest rules (by recorded firings)";
+      sql =
+        "SELECT table_name, b, detail, COUNT(*) FROM sys.events WHERE tag = \
+         'fire' GROUP BY table_name, b, detail ORDER BY count DESC LIMIT 10";
+      live = true;
+    };
+    {
+      key = "steals-by-domain";
+      title = "Work-stealing imbalance (steals per thief domain)";
+      sql =
+        "SELECT a, COUNT(*) FROM sys.events WHERE tag = 'steal' GROUP BY a \
+         ORDER BY count DESC";
+      live = true;
+    };
+    {
+      key = "dedup-by-depth";
+      title = "Dedup hits vs inserts by depth";
+      sql =
+        "SELECT a, b, COUNT(*) FROM sys.events WHERE tag = 'dedup' GROUP BY \
+         a, b ORDER BY a, b";
+      live = true;
     };
   ]
 

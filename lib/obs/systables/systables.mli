@@ -88,23 +88,38 @@ val plan_ops_of : Obs.Planlog.entry list -> Relalg.Table.t
     actual_rows, actual_ms, batches): per-operator detail in pre-order,
     joinable back to [sys.plans] on (fingerprint, site). *)
 
+(** {1 Flight recorder table} *)
+
+val events_of : Obs.Flightrec.doc_event list -> Relalg.Table.t
+(** [sys.events](seq, t_us, dom, tag, a, b, c, table_name, detail): one
+    row per surviving flight-recorder event in timestamp-merge order.
+    [t_us] is microseconds relative to the oldest surviving event;
+    [table_name] is set for rule firings; [detail] decodes firings back
+    to readable transitions through the same protocol-layer decoder
+    [sys.coverage] uses, and names the stop reason on [stop] rows. *)
+
+val events : unit -> Relalg.Table.t
+(** The live ring drain as [sys.events].  Built by round-tripping
+    {!Obs.Flightrec.to_json} through {!Obs.Flightrec.of_json}, so live
+    and manifest-backed variants agree by construction. *)
+
 (** {1 Attaching} *)
 
 val attach_live : Relalg.Database.t -> Relalg.Database.t
 (** Attach [sys.spans], [sys.span_stats], [sys.metrics], [sys.coverage],
-    [sys.plans] and [sys.plan_ops] snapshotted from the live
-    registries. *)
+    [sys.plans], [sys.plan_ops] and [sys.events] snapshotted from the
+    live registries. *)
 
 val attach_docs :
   (string * Obs.Json.t) list ->
   Relalg.Database.t ->
   Relalg.Database.t * (string * string) list
 (** Attach [sys.runs], [sys.run_metrics], [sys.bench], [sys.coverage],
-    [sys.plans] and [sys.plan_ops] built from labeled documents.  The
-    plan tables come from {!Obs.Runreport.plans} — the same aggregation
-    [asura report] renders — so SQL answers and report answers agree by
-    construction.  Returns the [(label, reason)] list of documents
-    {!Obs.Runreport.collect} skipped. *)
+    [sys.plans], [sys.plan_ops] and [sys.events] built from labeled
+    documents.  The plan and event tables come from {!Obs.Runreport} —
+    the same aggregations [asura report] renders — so SQL answers and
+    report answers agree by construction.  Returns the [(label,
+    reason)] list of documents {!Obs.Runreport.collect} skipped. *)
 
 (** {1 Canned queries} *)
 

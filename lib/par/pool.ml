@@ -217,8 +217,29 @@ let run_chunks (thunks : (unit -> unit) array) =
 
 (* ------------------------- chunked entry points ------------------------ *)
 
+(* Small-work fallback: below this many items, a chunked parallel region
+   runs inline on the calling domain.  Fanning a region out costs queue
+   and condition-variable traffic plus a barrier, and every resident
+   domain makes each stop-the-world minor collection more expensive —
+   for small inputs that fixed cost dwarfs any parallel win (the
+   generate-D-incremental and deadlock-V-vc4 seq-vs-par regressions were
+   exactly this shape).  The work-stealing frontier ([steal_loop]) is
+   not affected: its job count is unknown up front. *)
+let default_inline_below = 128
+
+let inline_below =
+  ref
+    (match Sys.getenv_opt "ASURA_PAR_INLINE" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 0 -> n
+        | _ -> default_inline_below)
+    | None -> default_inline_below)
+
+let set_inline_below n = inline_below := max 0 n
+
 let degree ?(min_chunk = 1) n =
-  if sequential () || n <= min_chunk then 1
+  if sequential () || n <= min_chunk || n < !inline_below then 1
   else min (domains ()) (max 1 (n / max 1 min_chunk))
 
 (* Contiguous (offset, length) ranges with sizes differing by at most 1. *)
@@ -422,8 +443,14 @@ let steal_loop (type job acc) ?workers ~(init : int -> acc)
         let rec go k =
           if k = w - 1 then None
           else
-            match deque_steal deques.((self + off + k) mod w) with
-            | Some j -> Some j
+            let victim = (self + off + k) mod w in
+            match deque_steal deques.(victim) with
+            | Some j ->
+                (* flight-record the migration: per-domain steal counts
+                   are the imbalance evidence `asura events top` shows *)
+                Obs.Flightrec.record ~tag:Obs.Flightrec.tag_steal ~a:self
+                  ~b:victim ();
+                Some j
             | None -> go (k + 1)
         in
         go 0

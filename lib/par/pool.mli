@@ -20,12 +20,13 @@
     bookkeeping belongs in the spawning domain, after the join.  Chunk
     results are merged left-to-right in chunk index order.
 
-    One carve-out: transition-coverage recording ({!Obs.Coverage.record})
-    is legal inside workers.  Each domain writes a private bitmap shard
-    and the merge is a bitwise OR — commutative and idempotent — so the
-    merged bitmap is independent of scheduling and the parallel result
-    stays bit-identical to the sequential one.  Anything whose merge is
-    order-sensitive (counters, histograms, traces) remains forbidden.
+    Two carve-outs: transition-coverage recording ({!Obs.Coverage.record})
+    and flight-recorder events ({!Obs.Flightrec.record}) are legal inside
+    workers.  Each domain writes a private shard (a bitmap, a ring), and
+    the only projections consumers may treat as deterministic are
+    order-free merges — bitmap OR for coverage, per-tag / per-rule counts
+    for events.  Anything whose merge is order-sensitive (ordered traces,
+    interleavings) remains scheduling-dependent and is reported as such.
 
     Nested parallel regions are not parallelized: a call made from inside
     a worker runs sequentially, so kernels freely compose without
@@ -55,7 +56,16 @@ val in_worker : unit -> bool
 val degree : ?min_chunk:int -> int -> int
 (** [degree ~min_chunk n]: how many chunks {!map_chunks} would split [n]
     items into — [1] means the sequential fallback.  Each chunk gets at
-    least [min_chunk] items (default [1]). *)
+    least [min_chunk] items (default [1]), and inputs smaller than the
+    {!set_inline_below} threshold always run inline: for small regions
+    the queue/barrier traffic and extra GC coordination of a fan-out
+    cost more than the parallelism recovers. *)
+
+val set_inline_below : int -> unit
+(** Set the small-work threshold (item count) below which chunked entry
+    points run inline regardless of {!domains}.  Default [128],
+    overridable with the [ASURA_PAR_INLINE] environment variable; [0]
+    disables the fallback.  {!steal_loop} is unaffected. *)
 
 val map_chunks : ?min_chunk:int -> ('a array -> 'b) -> 'a array -> 'b array
 (** Split the input into [degree] contiguous chunks, apply [f] to each

@@ -184,6 +184,8 @@ let generate_reference ?funcs s =
     let kept = List.length rows' in
     per_column := (col.cname, kept) :: !per_column;
     let considered = !candidates - candidates_before in
+    Obs.Flightrec.record ~tag:Obs.Flightrec.tag_solver_extend ~a:considered
+      ~b:kept ();
     pruning := { column = col.cname; considered; kept } :: !pruning;
     (* per-constraint pruning attribution: candidate rows this column's
        newly-applicable constraints eliminated, so the most selective
@@ -199,6 +201,8 @@ let generate_reference ?funcs s =
   Obs.Metrics.add (obs_counter "candidates") !candidates;
   Obs.Metrics.add (obs_counter "evaluations") !evaluations;
   Obs.Metrics.add (obs_counter "rows_generated") (List.length rows);
+  Obs.Flightrec.record ~tag:Obs.Flightrec.tag_solver_gen
+    ~a:(List.length rows) ~b:(List.length order) ();
   let table = attach_domain_lineage s (Table.of_rows ~name:s.sname schema rows) in
   Obs.Metrics.add (obs_counter "storage_bytes") (Table.storage_bytes table);
   ( table,
@@ -336,6 +340,8 @@ let generate_vectorized ?funcs s =
       parts;
     per_column := (col.cname, kept) :: !per_column;
     let considered = !candidates - candidates_before in
+    Obs.Flightrec.record ~tag:Obs.Flightrec.tag_solver_extend ~a:considered
+      ~b:kept ();
     pruning := { column = col.cname; considered; kept } :: !pruning;
     Obs.Metrics.add
       (obs_counter (Printf.sprintf "pruned.%s.%s" s.sname col.cname))
@@ -372,6 +378,8 @@ let generate_vectorized ?funcs s =
   Obs.Metrics.add (obs_counter "candidates") !candidates;
   Obs.Metrics.add (obs_counter "evaluations") !evaluations;
   Obs.Metrics.add (obs_counter "rows_generated") nrows;
+  Obs.Flightrec.record ~tag:Obs.Flightrec.tag_solver_gen ~a:nrows
+    ~b:(List.length order) ();
   (if Obs.Config.on () then
      let ops = List.rev !plan_ops in
      (* structural fingerprint: table, column order, domain sizes and
@@ -460,6 +468,8 @@ let generate_monolithic ?funcs s =
   Obs.Metrics.add
     (obs_counter (Printf.sprintf "pruned.%s.<full product>" s.sname))
     (!candidates - List.length rows);
+  Obs.Flightrec.record ~tag:Obs.Flightrec.tag_solver_gen
+    ~a:(List.length rows) ~b:n ();
   ( attach_domain_lineage s (Table.of_rows ~name:s.sname schema rows),
     {
       candidates = !candidates;

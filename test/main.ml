@@ -29,4 +29,5 @@ let () =
       "coverage-and-manifests", Test_coverage.suite;
       "system-tables", Test_systables.suite;
       "plan-observatory", Test_plans.suite;
+      "flight-recorder", Test_events.suite;
     ]

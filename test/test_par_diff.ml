@@ -411,8 +411,9 @@ let test_pool_spawns_no_new_domains () =
       capacity = 2; io_addrs = []; lossy = false }
   in
   Par.Pool.with_domains 4 (fun () ->
-      (* warm the pool to its high-water mark *)
-      ignore (Par.Pool.map_list ~min_chunk:1 Fun.id [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+      (* warm the pool to its high-water mark — a big enough region to
+         clear the small-work inline fallback and actually fan out *)
+      ignore (Par.Pool.map_list ~min_chunk:1 Fun.id (List.init 512 Fun.id));
       let before = Obs.Metrics.aggregate "spawn" in
       for _ = 1 to 3 do
         List.iter
